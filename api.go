@@ -1,0 +1,155 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/expt"
+	"repro/internal/library"
+	"repro/internal/mapper"
+	"repro/internal/mcnc"
+	"repro/internal/netlist"
+	"repro/internal/reorder"
+	"repro/internal/sim"
+	"repro/internal/stoch"
+)
+
+// Core types re-exported for users of the facade.
+type (
+	// Circuit is a mapped combinational gate-level netlist.
+	Circuit = circuit.Circuit
+	// Instance is one gate of a Circuit.
+	Instance = circuit.Instance
+	// Signal is the (equilibrium probability, transition density) pair
+	// that characterizes a net.
+	Signal = stoch.Signal
+	// Library is a cell library (Table 2 of the paper).
+	Library = library.Library
+	// Network is a technology-independent logic network (parsed BLIF).
+	Network = netlist.Network
+	// PowerParams holds the electrical constants of the power model.
+	PowerParams = core.Params
+	// OptimizeOptions configures the reordering optimizer.
+	OptimizeOptions = reorder.Options
+	// OptimizeReport summarizes an optimization run.
+	OptimizeReport = reorder.Report
+	// SimParams configures the switch-level simulator.
+	SimParams = sim.Params
+	// SimResult is a switch-level measurement.
+	SimResult = sim.Result
+	// DelayParams holds the RC constants of the timing model.
+	DelayParams = delay.Params
+	// TimingResult is a static timing analysis.
+	TimingResult = delay.Result
+	// GateAnalysis is the power model's evaluation of a single gate.
+	GateAnalysis = core.GateAnalysis
+	// CircuitAnalysis is the power model's evaluation of a circuit.
+	CircuitAnalysis = core.CircuitAnalysis
+)
+
+// Optimization modes (see reorder.Mode).
+const (
+	ModeFull         = reorder.Full
+	ModeInputOnly    = reorder.InputOnly
+	ModeDelayRule    = reorder.DelayRule
+	ModeDelayNeutral = reorder.DelayNeutral
+)
+
+// DefaultLibrary returns the paper's Table 2 cell library.
+func DefaultLibrary() *Library { return library.Default() }
+
+// DefaultPowerParams returns the electrical constants used throughout the
+// reproduction.
+func DefaultPowerParams() PowerParams { return core.DefaultParams() }
+
+// DefaultOptimizeOptions returns the paper's configuration: full
+// transistor reordering, minimizing model power.
+func DefaultOptimizeOptions() OptimizeOptions { return reorder.DefaultOptions() }
+
+// DefaultSimParams returns the default switch-level simulation setup.
+func DefaultSimParams() SimParams { return sim.DefaultParams() }
+
+// DefaultDelayParams returns the default RC timing constants.
+func DefaultDelayParams() DelayParams { return delay.DefaultParams() }
+
+// ParseBLIF reads a BLIF model (hand-rolled parser, .names and .gate).
+func ParseBLIF(r io.Reader) (*Network, error) { return netlist.ParseBLIF(r) }
+
+// WriteBLIF writes a network back to BLIF.
+func WriteBLIF(w io.Writer, nw *Network) error { return netlist.WriteBLIF(w, nw) }
+
+// ReadGNL reads this repository's native gate-netlist format, which
+// records the chosen transistor ordering per gate.
+func ReadGNL(r io.Reader, lib *Library) (*Circuit, error) { return netlist.ReadGNL(r, lib) }
+
+// WriteGNL writes a circuit with explicit configurations.
+func WriteGNL(w io.Writer, c *Circuit) error { return netlist.WriteGNL(w, c) }
+
+// MapNetwork lowers a parsed BLIF network onto the library.
+func MapNetwork(nw *Network, lib *Library) (*Circuit, error) { return mapper.Map(nw, lib) }
+
+// LoadBenchmark returns a benchmark circuit by name: one of the embedded
+// classics (repro.EmbeddedBenchmarks) or a Table 3 stand-in.
+func LoadBenchmark(name string, lib *Library) (*Circuit, error) { return mcnc.Load(name, lib) }
+
+// Benchmarks lists the Table 3 benchmark names.
+func Benchmarks() []string { return mcnc.Names() }
+
+// EmbeddedBenchmarks lists the hand-written classic netlists.
+func EmbeddedBenchmarks() []string { return mcnc.EmbeddedNames() }
+
+// UniformInputs assigns the same statistics to every primary input.
+func UniformInputs(c *Circuit, p, d float64) map[string]Signal {
+	stats := make(map[string]Signal, len(c.Inputs))
+	for _, in := range c.Inputs {
+		stats[in] = Signal{P: p, D: d}
+	}
+	return stats
+}
+
+// EstimatePower evaluates the paper's power model on the whole circuit.
+func EstimatePower(c *Circuit, pi map[string]Signal) (*CircuitAnalysis, error) {
+	return core.AnalyzeCircuit(c, pi, core.DefaultParams())
+}
+
+// Optimize runs the paper's optimization algorithm (Fig. 3) and returns
+// the reordered circuit with a before/after power report.
+func Optimize(c *Circuit, pi map[string]Signal, opt OptimizeOptions) (*OptimizeReport, error) {
+	return reorder.Optimize(c, pi, opt)
+}
+
+// BestAndWorst returns the minimum- and maximum-power reorderings — the
+// pair Table 3 compares by switch-level simulation.
+func BestAndWorst(c *Circuit, pi map[string]Signal, opt OptimizeOptions) (best, worst *OptimizeReport, err error) {
+	return reorder.BestAndWorst(c, pi, opt)
+}
+
+// Simulate measures power by switch-level simulation under exponential
+// input waveforms realizing the given statistics.
+func Simulate(c *Circuit, pi map[string]Signal, horizon float64, seed int64, prm SimParams) (*SimResult, error) {
+	rng := newRand(seed)
+	waves, err := sim.GenerateWaveforms(c.Inputs, pi, horizon, rng)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(c, waves, horizon, prm)
+}
+
+// CircuitDelay runs static timing analysis with the Elmore stack model.
+func CircuitDelay(c *Circuit, prm DelayParams) (*TimingResult, error) {
+	return delay.CircuitDelay(c, prm)
+}
+
+// ScenarioInputs draws the paper's scenario A or B primary-input
+// statistics for the circuit ("A"/"B", Fig. 6).
+func ScenarioInputs(c *Circuit, scenario string, seed int64) map[string]Signal {
+	opt := expt.DefaultOptions()
+	opt.Seed = seed
+	sc := expt.ScenarioA
+	if scenario == "B" || scenario == "b" {
+		sc = expt.ScenarioB
+	}
+	return expt.InputStats(c, sc, opt)
+}

@@ -1,0 +1,60 @@
+// Command gatelib inspects the Table 2 cell library: configurations,
+// layout instances, functions and transistor topologies.
+//
+// Usage:
+//
+//	gatelib            summary table (Table 2)
+//	gatelib <cell>     every configuration of one cell, grouped by instance
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expt"
+	"repro/internal/library"
+)
+
+func main() {
+	lib := library.Default()
+	if len(os.Args) < 2 {
+		summary(lib)
+		return
+	}
+	name := os.Args[1]
+	cell, ok := lib.Cell(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gatelib: no cell %q; available: %s\n", name, strings.Join(lib.Names(), " "))
+		os.Exit(1)
+	}
+	detail(cell)
+}
+
+func summary(lib *library.Library) {
+	header := []string{"gate", "inputs", "#C", "instances", "transistors"}
+	var rows [][]string
+	for _, c := range lib.Cells() {
+		rows = append(rows, []string{
+			c.Name,
+			fmt.Sprint(len(c.Inputs)),
+			fmt.Sprint(c.Configs),
+			fmt.Sprint(len(c.Instances)),
+			fmt.Sprint(c.Area),
+		})
+	}
+	fmt.Print(expt.FormatTable(header, rows))
+}
+
+func detail(cell *library.Cell) {
+	fmt.Printf("cell %s: inputs %s, %d transistors\n", cell.Name, strings.Join(cell.Inputs, ","), cell.Area)
+	fmt.Printf("function: %s (truth table over pin order)\n", cell.Func)
+	fmt.Printf("pull-down: %s\npull-up:   %s\n", cell.Proto.PD, cell.Proto.PU)
+	fmt.Printf("%d configurations in %d instance(s):\n", cell.Configs, len(cell.Instances))
+	for _, inst := range cell.Instances {
+		fmt.Printf("  instance %s[%s]:\n", cell.Name, inst.Label)
+		for _, cfg := range inst.Configs {
+			fmt.Printf("    pd=%s  pu=%s\n", cfg.PD, cfg.PU)
+		}
+	}
+}

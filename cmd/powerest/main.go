@@ -1,0 +1,93 @@
+// Command powerest estimates the power of a netlist with the paper's
+// extended model (internal nodes included) and prints per-gate and
+// per-net details.
+//
+// Usage:
+//
+//	powerest -in circuit.blif [-stats file | -scenario A|B] [-top n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/expt"
+	"repro/internal/library"
+)
+
+func main() {
+	in := flag.String("in", "", "input netlist (.blif or .gnl)")
+	statsFile := flag.String("stats", "", "input statistics file (net P D per line)")
+	scenario := flag.String("scenario", "A", "scenario A or B when -stats is absent")
+	seed := flag.Int64("seed", 1996, "seed for scenario A statistics")
+	top := flag.Int("top", 10, "how many of the hungriest gates to list")
+	timing := flag.Bool("timing", false, "also report critical path and slack")
+	flag.Parse()
+	if err := run(*in, *statsFile, *scenario, *seed, *top, *timing); err != nil {
+		fmt.Fprintln(os.Stderr, "powerest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, statsFile, scenario string, seed int64, top int, timing bool) error {
+	if in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	lib := library.Default()
+	c, err := cli.LoadCircuit(in, lib)
+	if err != nil {
+		return err
+	}
+	pi, err := cli.InputStats(c, statsFile, scenario, seed)
+	if err != nil {
+		return err
+	}
+	a, err := core.AnalyzeCircuit(c, pi, core.DefaultParams())
+	if err != nil {
+		return err
+	}
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit %s: %d gates, %d transistors, depth %d\n", c.Name, st.Gates, st.Transistors, st.Depth)
+	fmt.Printf("model power: %.4g W (internal nodes %.4g W = %.0f%%, output nodes %.4g W)\n\n",
+		a.Power, a.InternalPower, 100*a.InternalPower/a.Power, a.OutputPower)
+	type gp struct {
+		name  string
+		power float64
+	}
+	var list []gp
+	for n, p := range a.PerGate {
+		list = append(list, gp{n, p})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].power != list[j].power {
+			return list[i].power > list[j].power
+		}
+		return list[i].name < list[j].name
+	})
+	if top > len(list) {
+		top = len(list)
+	}
+	header := []string{"instance", "power (W)", "share"}
+	var rows [][]string
+	for _, g := range list[:top] {
+		rows = append(rows, []string{g.name, fmt.Sprintf("%.3g", g.power), expt.Pct(g.power / a.Power)})
+	}
+	fmt.Printf("top %d consumers:\n%s", top, expt.FormatTable(header, rows))
+	if timing {
+		rep, err := delay.Slacks(c, delay.DefaultParams())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ncritical path: %.3g s; %d gate(s) at zero slack; min slack %.3g s\n",
+			rep.Delay, len(rep.Critical), rep.MinSlack)
+	}
+	return nil
+}

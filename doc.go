@@ -1,0 +1,30 @@
+// Package repro is a from-scratch Go reproduction of E. Musoll and
+// J. Cortadella, "Optimizing CMOS Circuits for Low Power using Transistor
+// Reordering" (DATE 1996).
+//
+// The package is a thin facade over the internal implementation:
+//
+//   - internal/core — the paper's contribution: a power model of static
+//     CMOS gates that includes the switching activity of internal nodes.
+//   - internal/reorder — the greedy single-traversal optimizer (Fig. 3).
+//   - internal/gate, internal/sp — transistor graphs, H/G path functions,
+//     exhaustive reordering enumeration (Figs. 2, 4, 5).
+//   - internal/library — the Table 2 Sea-of-Gates cell library.
+//   - internal/netlist, internal/mapper — hand-rolled BLIF/GNL parsing and
+//     technology mapping.
+//   - internal/sim — the switch-level power simulator (the SLS stand-in).
+//   - internal/delay — Elmore stack delays and static timing analysis.
+//   - internal/mcnc, internal/expt — benchmarks and the Table 1/2/3
+//     experiment harness.
+//
+// A typical flow:
+//
+//	lib := repro.DefaultLibrary()
+//	c, err := repro.LoadBenchmark("rca8", lib)
+//	stats := repro.UniformInputs(c, 0.5, 1e5)
+//	rep, err := repro.Optimize(c, stats, repro.DefaultOptimizeOptions())
+//	fmt.Printf("power %.3g → %.3g W\n", rep.PowerBefore, rep.PowerAfter)
+//
+// See README.md for the command-line tools and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package repro

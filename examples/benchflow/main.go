@@ -1,0 +1,92 @@
+// Full benchmark flow on one circuit, end to end: load a benchmark
+// netlist, draw scenario-A input statistics, optimize for best and worst
+// power, verify functional equivalence, measure both with the
+// switch-level simulator under identical stimulus, and compare the delay
+// of the optimized circuit against the original mapping — exactly what
+// one row of the paper's Table 3 reports.
+//
+// Usage: benchflow [benchmark]   (default cm138a)
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchflow: ")
+
+	name := "cm138a"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	lib := repro.DefaultLibrary()
+	c, err := repro.LoadBenchmark(name, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := repro.ScenarioInputs(c, "A", 1996)
+	fmt.Printf("benchmark %s: %d gates, %d inputs, %d outputs\n",
+		name, len(c.Gates), len(c.Inputs), len(c.Outputs))
+
+	best, worst, err := repro.BestAndWorst(c, stats, repro.DefaultOptimizeOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model power: best %.4g W, worst %.4g W (reduction %.1f%%)\n",
+		best.PowerAfter, worst.PowerAfter,
+		100*(worst.PowerAfter-best.PowerAfter)/worst.PowerAfter)
+
+	// Functional equivalence spot check on random vectors.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 128; trial++ {
+		in := map[string]bool{}
+		for _, pi := range c.Inputs {
+			in[pi] = rng.Intn(2) == 1
+		}
+		v0, err := c.Eval(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v1, err := best.Circuit.Eval(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, o := range c.Outputs {
+			if v0[o] != v1[o] {
+				log.Fatalf("reordering changed output %s", o)
+			}
+		}
+	}
+	fmt.Println("functional equivalence: 128 random vectors OK")
+
+	// Switch-level cross-check under one shared stimulus.
+	const horizon = 5e-4
+	rb, err := repro.Simulate(best.Circuit, stats, horizon, 11, repro.DefaultSimParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rw, err := repro.Simulate(worst.Circuit, stats, horizon, 11, repro.DefaultSimParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("switch-level: best %.4g W, worst %.4g W (reduction %.1f%%)\n",
+		rb.Power, rw.Power, 100*(rw.Power-rb.Power)/rw.Power)
+
+	// Delay comparison (column D of Table 3).
+	d0, err := repro.CircuitDelay(c, repro.DefaultDelayParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	d1, err := repro.CircuitDelay(best.Circuit, repro.DefaultDelayParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("critical path: %.3g s -> %.3g s (%+.1f%%)\n",
+		d0.Delay, d1.Delay, 100*(d1.Delay-d0.Delay)/d0.Delay)
+}

@@ -1,0 +1,74 @@
+// The Section 1.1 motivation study: in a ripple-carry adder all inputs
+// share the same equilibrium probability, yet the propagated carries are
+// far more active than the operand bits — so a power optimizer must look
+// at transition densities, not probabilities. This example profiles the
+// carry chain of an 8-bit adder, optimizes the adder, and cross-checks the
+// savings with the switch-level simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rca: ")
+
+	lib := repro.DefaultLibrary()
+	c, err := repro.LoadBenchmark("rca8", lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := repro.UniformInputs(c, 0.5, 1e5)
+
+	// 1. Profile: model statistics of the carry nets.
+	a, err := repro.EstimatePower(c, stats)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("carry-chain profile (operands: P=0.5, D=1e5 trans/s):")
+	fmt.Printf("  %-6s %-8s %s\n", "net", "P", "D (trans/s)")
+	for i := 1; i < 8; i++ {
+		net := fmt.Sprintf("c%d", i)
+		s, ok := a.NetStats[net]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-6s %-8.3f %.3g\n", net, s.P, s.D)
+	}
+	if s, ok := a.NetStats["cout"]; ok {
+		fmt.Printf("  %-6s %-8.3f %.3g\n", "cout", s.P, s.D)
+	}
+
+	// 2. Optimize and report.
+	rep, err := repro.Optimize(c, stats, repro.DefaultOptimizeOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel power: %.4g W -> %.4g W (%.1f%% reduction, %d/%d gates reconfigured)\n",
+		rep.PowerBefore, rep.PowerAfter, 100*rep.Reduction(), rep.GatesChanged, len(c.Gates))
+
+	// 3. Cross-check with the switch-level simulator under identical
+	// exponential stimulus: best versus worst reordering.
+	best, worst, err := repro.BestAndWorst(c, stats, repro.DefaultOptimizeOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const horizon = 5e-4
+	const seed = 42
+	rb, err := repro.Simulate(best.Circuit, stats, horizon, seed, repro.DefaultSimParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rw, err := repro.Simulate(worst.Circuit, stats, horizon, seed, repro.DefaultSimParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nswitch-level check over %.0g s of stimulus:\n", horizon)
+	fmt.Printf("  best reordering:  %.4g W\n", rb.Power)
+	fmt.Printf("  worst reordering: %.4g W\n", rw.Power)
+	fmt.Printf("  measured reduction: %.1f%%\n", 100*(rw.Power-rb.Power)/rw.Power)
+}

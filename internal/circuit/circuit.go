@@ -1,0 +1,305 @@
+// Package circuit provides the gate-level intermediate representation the
+// optimizer traverses: named nets, primary inputs and outputs, and gate
+// instances bound to transistor-level cell configurations. It implements
+// the depth-first (topological) traversal of the paper's Figure 3 and the
+// propagation of equilibrium probabilities and transition densities from
+// the primary inputs to every net.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gate"
+	"repro/internal/stoch"
+)
+
+// Instance is one gate of the circuit: a cell configuration plus the nets
+// bound to its pins.
+type Instance struct {
+	Name string     // instance name, unique within the circuit
+	Cell *gate.Gate // transistor-level configuration (ordered networks)
+	Pins []string   // driving net per cell input, parallel to Cell.Inputs
+	Out  string     // net driven by the gate output
+}
+
+// Circuit is a combinational gate-level netlist.
+type Circuit struct {
+	Name    string
+	Inputs  []string // primary input nets
+	Outputs []string // primary output nets
+	Gates   []*Instance
+}
+
+// Clone returns a deep copy; cell configurations are shared (they are
+// immutable) but instances and slices are fresh.
+func (c *Circuit) Clone() *Circuit {
+	n := &Circuit{
+		Name:    c.Name,
+		Inputs:  append([]string(nil), c.Inputs...),
+		Outputs: append([]string(nil), c.Outputs...),
+		Gates:   make([]*Instance, len(c.Gates)),
+	}
+	for i, g := range c.Gates {
+		n.Gates[i] = &Instance{
+			Name: g.Name,
+			Cell: g.Cell,
+			Pins: append([]string(nil), g.Pins...),
+			Out:  g.Out,
+		}
+	}
+	return n
+}
+
+// Driver returns, for every net, the instance driving it (nil for primary
+// inputs).
+func (c *Circuit) Driver() map[string]*Instance {
+	d := make(map[string]*Instance, len(c.Gates))
+	for _, g := range c.Gates {
+		d[g.Out] = g
+	}
+	return d
+}
+
+// Fanout returns, for every net, the number of gate input pins it feeds.
+// Primary outputs add one additional load each (the environment).
+func (c *Circuit) Fanout() map[string]int {
+	f := make(map[string]int)
+	for _, g := range c.Gates {
+		for _, p := range g.Pins {
+			f[p]++
+		}
+	}
+	for _, o := range c.Outputs {
+		f[o]++
+	}
+	return f
+}
+
+// Validate checks structural sanity: unique instance names, every net
+// driven exactly once (by a primary input or one gate), every pin
+// connected to a driven net, pin counts matching the cells, outputs
+// driven, and no combinational cycles.
+func (c *Circuit) Validate() error {
+	driven := map[string]string{} // net → "input" or instance name
+	for _, in := range c.Inputs {
+		if in == "" {
+			return fmt.Errorf("circuit %s: empty primary input name", c.Name)
+		}
+		if _, dup := driven[in]; dup {
+			return fmt.Errorf("circuit %s: duplicate primary input %q", c.Name, in)
+		}
+		driven[in] = "input"
+	}
+	names := map[string]bool{}
+	for _, g := range c.Gates {
+		if g.Name == "" {
+			return fmt.Errorf("circuit %s: instance with empty name", c.Name)
+		}
+		if names[g.Name] {
+			return fmt.Errorf("circuit %s: duplicate instance name %q", c.Name, g.Name)
+		}
+		names[g.Name] = true
+		if g.Cell == nil {
+			return fmt.Errorf("circuit %s: instance %s has no cell", c.Name, g.Name)
+		}
+		if len(g.Pins) != len(g.Cell.Inputs) {
+			return fmt.Errorf("circuit %s: instance %s has %d pins, cell %s wants %d",
+				c.Name, g.Name, len(g.Pins), g.Cell.Name, len(g.Cell.Inputs))
+		}
+		if g.Out == "" {
+			return fmt.Errorf("circuit %s: instance %s drives no net", c.Name, g.Name)
+		}
+		if by, dup := driven[g.Out]; dup {
+			return fmt.Errorf("circuit %s: net %q driven by both %s and %s", c.Name, g.Out, by, g.Name)
+		}
+		driven[g.Out] = g.Name
+	}
+	for _, g := range c.Gates {
+		for i, p := range g.Pins {
+			if _, ok := driven[p]; !ok {
+				return fmt.Errorf("circuit %s: instance %s pin %d reads undriven net %q", c.Name, g.Name, i, p)
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		if _, ok := driven[o]; !ok {
+			return fmt.Errorf("circuit %s: primary output %q undriven", c.Name, o)
+		}
+	}
+	if _, err := c.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the gates ordered so that every gate appears after all
+// gates in its transitive fan-in — the traversal order of Figure 3. It
+// reports an error on combinational cycles.
+func (c *Circuit) TopoOrder() ([]*Instance, error) {
+	driver := c.Driver()
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[*Instance]int, len(c.Gates))
+	var order []*Instance
+	var visit func(g *Instance) error
+	visit = func(g *Instance) error {
+		switch state[g] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("circuit %s: combinational cycle through %s", c.Name, g.Name)
+		}
+		state[g] = visiting
+		for _, p := range g.Pins {
+			if d := driver[p]; d != nil {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[g] = done
+		order = append(order, g)
+		return nil
+	}
+	for _, g := range c.Gates {
+		if err := visit(g); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Nets returns every net name, sorted: inputs first, then gate outputs.
+func (c *Circuit) Nets() []string {
+	seen := map[string]bool{}
+	var nets []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nets = append(nets, n)
+		}
+	}
+	for _, in := range c.Inputs {
+		add(in)
+	}
+	var outs []string
+	for _, g := range c.Gates {
+		outs = append(outs, g.Out)
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		add(o)
+	}
+	return nets
+}
+
+// Stats summarizes the circuit for reports.
+type Stats struct {
+	Gates       int
+	Transistors int
+	ByCell      map[string]int
+	Depth       int // logic depth in gate levels
+}
+
+// Stats computes summary statistics.
+func (c *Circuit) Stats() (Stats, error) {
+	s := Stats{Gates: len(c.Gates), ByCell: map[string]int{}}
+	for _, g := range c.Gates {
+		s.ByCell[g.Cell.Name]++
+		s.Transistors += g.Cell.NumTransistors()
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return Stats{}, err
+	}
+	level := map[string]int{}
+	for _, g := range order {
+		max := 0
+		for _, p := range g.Pins {
+			if level[p] > max {
+				max = level[p]
+			}
+		}
+		level[g.Out] = max + 1
+		if level[g.Out] > s.Depth {
+			s.Depth = level[g.Out]
+		}
+	}
+	return s, nil
+}
+
+// Eval computes the steady-state value of every net for the given primary
+// input assignment (zero-delay functional simulation). Used for
+// equivalence checking between original and reordered circuits.
+func (c *Circuit) Eval(inputs map[string]bool) (map[string]bool, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	val := make(map[string]bool, len(inputs)+len(c.Gates))
+	for _, in := range c.Inputs {
+		v, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("circuit %s: missing value for input %q", c.Name, in)
+		}
+		val[in] = v
+	}
+	for _, g := range order {
+		f, err := g.Cell.Func()
+		if err != nil {
+			return nil, err
+		}
+		var m uint
+		for i, p := range g.Pins {
+			if val[p] {
+				m |= 1 << i
+			}
+		}
+		val[g.Out] = f.Eval(m)
+	}
+	return val, nil
+}
+
+// Propagate computes per-net signal statistics from primary-input
+// statistics, calling eval for each gate in topological order — the
+// OBTAIN_PROBABILITIES / UPDATE_CIRCUIT_INFORMATION loop of Figure 3.
+// The eval callback receives the gate and its input statistics in pin
+// order and returns the output statistics.
+func (c *Circuit) Propagate(pi map[string]stoch.Signal,
+	eval func(g *Instance, in []stoch.Signal) (stoch.Signal, error)) (map[string]stoch.Signal, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	stats := make(map[string]stoch.Signal, len(pi)+len(c.Gates))
+	for _, in := range c.Inputs {
+		s, ok := pi[in]
+		if !ok {
+			return nil, fmt.Errorf("circuit %s: missing statistics for input %q", c.Name, in)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("circuit %s: input %q: %w", c.Name, in, err)
+		}
+		stats[in] = s
+	}
+	for _, g := range order {
+		in := make([]stoch.Signal, len(g.Pins))
+		for i, p := range g.Pins {
+			s, ok := stats[p]
+			if !ok {
+				return nil, fmt.Errorf("circuit %s: instance %s reads unannotated net %q", c.Name, g.Name, p)
+			}
+			in[i] = s
+		}
+		out, err := eval(g, in)
+		if err != nil {
+			return nil, fmt.Errorf("circuit %s: instance %s: %w", c.Name, g.Name, err)
+		}
+		stats[g.Out] = out
+	}
+	return stats, nil
+}

@@ -1,0 +1,239 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/sp"
+	"repro/internal/stoch"
+)
+
+func cellInv() *gate.Gate {
+	return gate.MustNew("inv", []string{"a"}, sp.MustParse("a"))
+}
+
+func cellNand2() *gate.Gate {
+	return gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+}
+
+// xorNand builds x ⊕ y out of four NAND2 gates — a classic that checks
+// multi-level propagation and reconvergent fanout.
+func xorNand() *Circuit {
+	n := cellNand2()
+	return &Circuit{
+		Name:    "xor",
+		Inputs:  []string{"x", "y"},
+		Outputs: []string{"z"},
+		Gates: []*Instance{
+			{Name: "g1", Cell: n, Pins: []string{"x", "y"}, Out: "t"},
+			{Name: "g2", Cell: n, Pins: []string{"x", "t"}, Out: "u"},
+			{Name: "g3", Cell: n, Pins: []string{"t", "y"}, Out: "v"},
+			{Name: "g4", Cell: n, Pins: []string{"u", "v"}, Out: "z"},
+		},
+	}
+}
+
+func TestValidateAcceptsXor(t *testing.T) {
+	if err := xorNand().Validate(); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := xorNand()
+	mutate := []struct {
+		name string
+		f    func(c *Circuit)
+		want string
+	}{
+		{"dup instance", func(c *Circuit) { c.Gates[1].Name = "g1" }, "duplicate instance"},
+		{"double driver", func(c *Circuit) { c.Gates[1].Out = "t" }, "driven by both"},
+		{"undriven pin", func(c *Circuit) { c.Gates[0].Pins[0] = "ghost" }, "undriven net"},
+		{"undriven output", func(c *Circuit) { c.Outputs = []string{"nope"} }, "undriven"},
+		{"pin count", func(c *Circuit) { c.Gates[0].Pins = []string{"x"} }, "pins"},
+		{"dup input", func(c *Circuit) { c.Inputs = []string{"x", "x"} }, "duplicate primary input"},
+		{"no cell", func(c *Circuit) { c.Gates[0].Cell = nil }, "no cell"},
+		{"empty out", func(c *Circuit) { c.Gates[0].Out = "" }, "drives no net"},
+	}
+	for _, m := range mutate {
+		c := base.Clone()
+		m.f(c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.want)
+		}
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	n := cellNand2()
+	c := &Circuit{
+		Name:    "loop",
+		Inputs:  []string{"x"},
+		Outputs: []string{"a"},
+		Gates: []*Instance{
+			{Name: "g1", Cell: n, Pins: []string{"x", "b"}, Out: "a"},
+			{Name: "g2", Cell: n, Pins: []string{"x", "a"}, Out: "b"},
+		},
+	}
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	c := xorNand()
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, g := range order {
+		pos[g.Name] = i
+	}
+	driver := c.Driver()
+	for _, g := range c.Gates {
+		for _, p := range g.Pins {
+			if d := driver[p]; d != nil && pos[d.Name] > pos[g.Name] {
+				t.Errorf("gate %s appears before its fan-in %s", g.Name, d.Name)
+			}
+		}
+	}
+}
+
+func TestEvalXor(t *testing.T) {
+	c := xorNand()
+	for _, tc := range []struct{ x, y, want bool }{
+		{false, false, false},
+		{false, true, true},
+		{true, false, true},
+		{true, true, false},
+	} {
+		val, err := c.Eval(map[string]bool{"x": tc.x, "y": tc.y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if val["z"] != tc.want {
+			t.Errorf("xor(%v,%v) = %v, want %v", tc.x, tc.y, val["z"], tc.want)
+		}
+	}
+}
+
+func TestEvalMissingInput(t *testing.T) {
+	if _, err := xorNand().Eval(map[string]bool{"x": true}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	c := xorNand()
+	f := c.Fanout()
+	if f["x"] != 2 {
+		t.Errorf("fanout(x) = %d, want 2", f["x"])
+	}
+	if f["t"] != 2 {
+		t.Errorf("fanout(t) = %d, want 2", f["t"])
+	}
+	// Primary output carries one environment load.
+	if f["z"] != 1 {
+		t.Errorf("fanout(z) = %d, want 1", f["z"])
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := xorNand()
+	s, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Gates != 4 {
+		t.Errorf("Gates = %d, want 4", s.Gates)
+	}
+	if s.ByCell["nand2"] != 4 {
+		t.Errorf("ByCell[nand2] = %d, want 4", s.ByCell["nand2"])
+	}
+	if s.Transistors != 16 {
+		t.Errorf("Transistors = %d, want 16", s.Transistors)
+	}
+	if s.Depth != 3 {
+		t.Errorf("Depth = %d, want 3", s.Depth)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := xorNand()
+	d := c.Clone()
+	d.Gates[0].Pins[0] = "other"
+	d.Inputs[0] = "w"
+	if c.Gates[0].Pins[0] != "x" || c.Inputs[0] != "x" {
+		t.Error("Clone shares mutable state")
+	}
+}
+
+func TestPropagateChainsDensities(t *testing.T) {
+	// Two inverters in series with a hand-checkable evaluator: an inverter
+	// passes D through and complements P.
+	invCell := cellInv()
+	c := &Circuit{
+		Name:    "buf",
+		Inputs:  []string{"a"},
+		Outputs: []string{"z"},
+		Gates: []*Instance{
+			{Name: "i1", Cell: invCell, Pins: []string{"a"}, Out: "m"},
+			{Name: "i2", Cell: invCell, Pins: []string{"m"}, Out: "z"},
+		},
+	}
+	stats, err := c.Propagate(map[string]stoch.Signal{"a": {P: 0.2, D: 5e4}},
+		func(g *Instance, in []stoch.Signal) (stoch.Signal, error) {
+			return stoch.Signal{P: 1 - in[0].P, D: in[0].D}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats["m"].P-0.8) > 1e-12 || math.Abs(stats["z"].P-0.2) > 1e-12 {
+		t.Errorf("propagated P wrong: m=%v z=%v", stats["m"], stats["z"])
+	}
+	if stats["z"].D != 5e4 {
+		t.Errorf("propagated D wrong: %v", stats["z"].D)
+	}
+}
+
+func TestPropagateMissingInputStats(t *testing.T) {
+	c := xorNand()
+	_, err := c.Propagate(map[string]stoch.Signal{"x": {P: 0.5, D: 1}},
+		func(g *Instance, in []stoch.Signal) (stoch.Signal, error) {
+			return stoch.Signal{P: 0.5, D: 1}, nil
+		})
+	if err == nil {
+		t.Error("missing input statistics accepted")
+	}
+}
+
+func TestPropagateInvalidInputStats(t *testing.T) {
+	c := xorNand()
+	_, err := c.Propagate(map[string]stoch.Signal{"x": {P: 5, D: 1}, "y": {P: 0.5, D: 1}},
+		func(g *Instance, in []stoch.Signal) (stoch.Signal, error) {
+			return stoch.Signal{P: 0.5, D: 1}, nil
+		})
+	if err == nil {
+		t.Error("invalid input statistics accepted")
+	}
+}
+
+func TestNetsOrdering(t *testing.T) {
+	c := xorNand()
+	nets := c.Nets()
+	if len(nets) != 6 {
+		t.Fatalf("Nets = %v, want 6 nets", nets)
+	}
+	if nets[0] != "x" || nets[1] != "y" {
+		t.Errorf("inputs not first: %v", nets)
+	}
+}

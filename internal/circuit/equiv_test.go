@@ -1,0 +1,123 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestNetFunctionsXor(t *testing.T) {
+	c := xorNand()
+	fns, err := NetFunctions(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := logic.MustParseExpr("x !y + !x y", []string{"x", "y"})
+	if !fns["z"].Equal(want) {
+		t.Fatalf("composed z = %v, want xor", fns["z"])
+	}
+	// Inputs are projections.
+	if !fns["x"].Equal(logic.Var(0, 2)) {
+		t.Error("input function wrong")
+	}
+}
+
+func TestEquivalentSelf(t *testing.T) {
+	c := xorNand()
+	ok, witness, err := Equivalent(c, c.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("clone not equivalent: %s", witness)
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := xorNand()
+	b := a.Clone()
+	// Swap one gate's pins so b computes a different function:
+	// g2 computes nand(x,t); change it to nand(y,t).
+	b.Gates[1].Pins[0] = "y"
+	ok, witness, err := Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("different circuits reported equivalent")
+	}
+	if !strings.Contains(witness, "output z") {
+		t.Errorf("witness %q does not name the output", witness)
+	}
+	if !strings.Contains(witness, "minterm") {
+		t.Errorf("witness %q lacks a counterexample", witness)
+	}
+}
+
+func TestEquivalentInputOrderIndependent(t *testing.T) {
+	a := xorNand()
+	b := a.Clone()
+	b.Inputs = []string{"y", "x"} // same set, different order
+	ok, witness, err := Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("input reordering broke equivalence: %s", witness)
+	}
+}
+
+func TestEquivalentRejectsDifferentInterfaces(t *testing.T) {
+	a := xorNand()
+	b := a.Clone()
+	b.Inputs = []string{"x", "w"}
+	if _, _, err := Equivalent(a, b); err == nil {
+		t.Error("different input sets accepted")
+	}
+	c := a.Clone()
+	c.Outputs = []string{"t"}
+	if _, _, err := Equivalent(a, c); err == nil {
+		t.Error("different output sets accepted")
+	}
+}
+
+func TestEquivalentRandomAgrees(t *testing.T) {
+	a := xorNand()
+	b := a.Clone()
+	rng := rand.New(rand.NewSource(3))
+	ok, _, err := EquivalentRandom(a, b, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("clone failed random equivalence")
+	}
+	b.Gates[1].Pins[0] = "y"
+	ok, witness, err := EquivalentRandom(a, b, 256, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("mutated circuit passed random equivalence")
+	}
+	if witness == "" {
+		t.Error("no witness reported")
+	}
+}
+
+func TestNetFunctionsTooWide(t *testing.T) {
+	c := &Circuit{Name: "wide", Outputs: []string{"z"}}
+	for i := 0; i < logic.MaxVars+1; i++ {
+		c.Inputs = append(c.Inputs, nets(i))
+	}
+	c.Gates = []*Instance{{Name: "g", Cell: cellNand2(), Pins: []string{nets(0), nets(1)}, Out: "z"}}
+	if _, err := NetFunctions(c); err == nil {
+		t.Error("over-wide circuit accepted for exact composition")
+	}
+}
+
+func nets(i int) string {
+	return "w" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}

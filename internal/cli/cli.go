@@ -1,0 +1,79 @@
+// Package cli holds the loading and configuration helpers shared by the
+// command-line tools (lowpower, powerest, swsim).
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/expt"
+	"repro/internal/library"
+	"repro/internal/mapper"
+	"repro/internal/netlist"
+	"repro/internal/stoch"
+)
+
+// LoadCircuit reads a netlist file, dispatching on the extension: .gnl is
+// read natively, anything else is parsed as BLIF and mapped onto lib.
+func LoadCircuit(path string, lib *library.Library) (*circuit.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCircuit(f, filepath.Ext(path), lib)
+}
+
+// ReadCircuit is LoadCircuit over a stream; ext selects the format
+// (".gnl" or BLIF otherwise).
+func ReadCircuit(r io.Reader, ext string, lib *library.Library) (*circuit.Circuit, error) {
+	if strings.EqualFold(ext, ".gnl") {
+		return netlist.ReadGNL(r, lib)
+	}
+	nw, err := netlist.ParseBLIF(r)
+	if err != nil {
+		return nil, err
+	}
+	return mapper.Map(nw, lib)
+}
+
+// InputStats resolves the primary-input statistics for a tool invocation:
+// an explicit "net P D" file wins; otherwise scenario A or B statistics
+// are drawn with the given seed. The returned map is checked to cover
+// every primary input.
+func InputStats(c *circuit.Circuit, statsFile, scenario string, seed int64) (map[string]stoch.Signal, error) {
+	var stats map[string]stoch.Signal
+	if statsFile != "" {
+		f, err := os.Open(statsFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		stats, err = expt.ParseStats(f)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		opt := expt.DefaultOptions()
+		opt.Seed = seed
+		sc := expt.ScenarioA
+		switch strings.ToUpper(scenario) {
+		case "A":
+		case "B":
+			sc = expt.ScenarioB
+		default:
+			return nil, fmt.Errorf("cli: unknown scenario %q (want A or B)", scenario)
+		}
+		stats = expt.InputStats(c, sc, opt)
+	}
+	for _, in := range c.Inputs {
+		if _, ok := stats[in]; !ok {
+			return nil, fmt.Errorf("cli: no statistics for primary input %q", in)
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,120 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/library"
+)
+
+const blifSrc = `.model t
+.inputs a b
+.outputs z
+.names a b z
+11 0
+.end
+`
+
+const gnlSrc = `circuit t
+inputs a b
+outputs z
+gate u1 nand2 y=z a=a b=b
+end
+`
+
+func TestReadCircuitBLIF(t *testing.T) {
+	c, err := ReadCircuit(strings.NewReader(blifSrc), ".blif", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Cell.Name != "nand2" {
+		t.Fatalf("unexpected mapping: %d gates", len(c.Gates))
+	}
+}
+
+func TestReadCircuitGNL(t *testing.T) {
+	c, err := ReadCircuit(strings.NewReader(gnlSrc), ".gnl", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 {
+		t.Fatalf("unexpected gate count %d", len(c.Gates))
+	}
+}
+
+func TestLoadCircuitDispatch(t *testing.T) {
+	dir := t.TempDir()
+	blif := filepath.Join(dir, "t.blif")
+	gnl := filepath.Join(dir, "t.gnl")
+	if err := os.WriteFile(blif, []byte(blifSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gnl, []byte(gnlSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{blif, gnl} {
+		if _, err := LoadCircuit(p, library.Default()); err != nil {
+			t.Errorf("LoadCircuit(%s): %v", p, err)
+		}
+	}
+	if _, err := LoadCircuit(filepath.Join(dir, "missing.blif"), library.Default()); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestInputStatsScenario(t *testing.T) {
+	c, err := ReadCircuit(strings.NewReader(blifSrc), ".blif", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := InputStats(c, "", "A", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d nets", len(stats))
+	}
+	if _, err := InputStats(c, "", "Q", 1); err == nil {
+		t.Error("bogus scenario accepted")
+	}
+	if _, err := InputStats(c, "", "b", 1); err != nil {
+		t.Errorf("lowercase scenario rejected: %v", err)
+	}
+}
+
+func TestInputStatsFromFile(t *testing.T) {
+	c, err := ReadCircuit(strings.NewReader(blifSrc), ".blif", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	full := filepath.Join(dir, "stats.txt")
+	if err := os.WriteFile(full, []byte("a 0.5 1e5\nb 0.2 2e5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := InputStats(c, full, "A", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["b"].P != 0.2 {
+		t.Errorf("file stats not used: %+v", stats["b"])
+	}
+	// Incomplete file: missing input b.
+	partial := filepath.Join(dir, "partial.txt")
+	if err := os.WriteFile(partial, []byte("a 0.5 1e5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InputStats(c, partial, "A", 1); err == nil {
+		t.Error("incomplete stats file accepted")
+	}
+	// Malformed file.
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("a 0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InputStats(c, bad, "A", 1); err == nil {
+		t.Error("malformed stats file accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gate"
+	"repro/internal/logic"
+)
+
+// template is the statistics-independent part of a gate configuration's
+// analysis: the H/G path functions and their boolean differences per node,
+// plus the structural capacitance sources. Extracting it is the expensive
+// step (DFS path enumeration per node); it depends only on the
+// configuration, never on the input statistics or loads, so instances of
+// the same cell configuration across a circuit share one template.
+type template struct {
+	nodes []templateNode
+}
+
+type templateNode struct {
+	id      gate.NodeID
+	name    string
+	isOut   bool
+	sources int
+	h, g    logic.Func
+	dh, dg  []logic.Func // boolean differences per input
+}
+
+// templateCache memoizes templates by configuration identity. The cache
+// is safe for concurrent use (the experiment harness analyzes benchmarks
+// in parallel) and unbounded: the library has at most a few hundred
+// distinct configurations in total.
+type templateCache struct {
+	mu sync.Mutex
+	m  map[string]*template
+}
+
+var templates = &templateCache{m: map[string]*template{}}
+
+// get returns the template for the gate's configuration, building it on
+// first use.
+func (tc *templateCache) get(g *gate.Gate) (*template, error) {
+	key := templateKey(g)
+	tc.mu.Lock()
+	t, ok := tc.m[key]
+	tc.mu.Unlock()
+	if ok {
+		return t, nil
+	}
+	t, err := buildTemplate(g)
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	tc.m[key] = t
+	tc.mu.Unlock()
+	return t, nil
+}
+
+// templateKey identifies a configuration including its pin-order binding:
+// the ConfigKey serializes the networks over pin names, and the input
+// list fixes the variable order the functions are built over.
+func templateKey(g *gate.Gate) string {
+	return fmt.Sprintf("%v|%s", g.Inputs, g.ConfigKey())
+}
+
+func buildTemplate(g *gate.Gate) (*template, error) {
+	gr, err := g.Graph()
+	if err != nil {
+		return nil, err
+	}
+	nodes := append(gr.InternalNodes(), gate.Y)
+	t := &template{nodes: make([]templateNode, 0, len(nodes))}
+	for _, nk := range nodes {
+		tn := templateNode{
+			id:      nk,
+			name:    gr.NodeName(nk),
+			isOut:   nk == gate.Y,
+			sources: gr.Degree(nk),
+			h:       gr.H(nk),
+			g:       gr.G(nk),
+		}
+		tn.dh = make([]logic.Func, len(g.Inputs))
+		tn.dg = make([]logic.Func, len(g.Inputs))
+		for i := range g.Inputs {
+			tn.dh[i] = tn.h.Diff(i)
+			tn.dg[i] = tn.g.Diff(i)
+		}
+		t.nodes = append(t.nodes, tn)
+	}
+	return t, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gate"
+	"repro/internal/stoch"
+)
+
+// NodeAnalysis is the model's view of one gate node: its capacitance,
+// steady-state probability, per-input transition counts and power.
+type NodeAnalysis struct {
+	Node    gate.NodeID
+	Name    string
+	Cap     float64   // farads
+	P       float64   // equilibrium probability of the node being 1
+	TByIn   []float64 // transitions/sec attributable to each input
+	T       float64   // total transitions/sec (sum of TByIn)
+	Power   float64   // watts
+	PH, PG  float64   // P(H_nk), P(G_nk), for diagnostics
+	IsOut   bool
+	Sources int // transistor terminals on the node (capacitance sources)
+}
+
+// GateAnalysis is the full model evaluation of one gate configuration
+// under given input statistics.
+type GateAnalysis struct {
+	Gate          *gate.Gate
+	Inputs        []stoch.Signal // per pin, in pin order
+	Nodes         []NodeAnalysis // internal nodes first, output node last
+	Power         float64        // watts, sum over nodes
+	InternalPower float64        // watts dissipated at internal nodes only
+	OutputPower   float64        // watts dissipated at the output node
+	Out           stoch.Signal   // output statistics to propagate (P(y), D(y))
+}
+
+// AnalyzeGate evaluates the extended power model (Sec. 3.3) for one gate
+// configuration. loadCap is the external capacitance on the output node
+// (fanout gate pins and wire); prm supplies the electrical constants.
+func AnalyzeGate(g *gate.Gate, in []stoch.Signal, loadCap float64, prm Params) (*GateAnalysis, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if len(in) != len(g.Inputs) {
+		return nil, fmt.Errorf("core: gate %s has %d inputs, got %d signals", g.Name, len(g.Inputs), len(in))
+	}
+	if loadCap < 0 {
+		return nil, fmt.Errorf("core: negative load capacitance %v", loadCap)
+	}
+	probs := make([]float64, len(in))
+	for i, s := range in {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("core: gate %s input %s: %w", g.Name, g.Inputs[i], err)
+		}
+		probs[i] = s.P
+	}
+	tmpl, err := templates.get(g)
+	if err != nil {
+		return nil, err
+	}
+	a := &GateAnalysis{Gate: g, Inputs: append([]stoch.Signal(nil), in...)}
+	halfCV2 := 0.5 * prm.Vdd * prm.Vdd
+	for _, tn := range tmpl.nodes {
+		ph := tn.h.Prob(probs)
+		pg := tn.g.Prob(probs)
+		na := NodeAnalysis{
+			Node:    tn.id,
+			Name:    tn.name,
+			IsOut:   tn.isOut,
+			Sources: tn.sources,
+			PH:      ph,
+			PG:      pg,
+			TByIn:   make([]float64, len(in)),
+		}
+		na.Cap = prm.Cj * float64(na.Sources)
+		if na.IsOut {
+			na.Cap += loadCap
+		}
+		if ph+pg > 0 {
+			na.P = ph / (ph + pg)
+		}
+		for i := range in {
+			dh := tn.dh[i].Prob(probs)
+			dg := tn.dg[i].Prob(probs)
+			t := in[i].D * ((1-na.P)*dh + na.P*dg)
+			na.TByIn[i] = t
+			na.T += t
+		}
+		na.Power = halfCV2 * na.Cap * na.T
+		a.Power += na.Power
+		if na.IsOut {
+			a.OutputPower += na.Power
+			a.Out = stoch.Signal{P: na.P, D: na.T}
+		} else {
+			a.InternalPower += na.Power
+		}
+		a.Nodes = append(a.Nodes, na)
+	}
+	return a, nil
+}
+
+// OutputStats computes only the output-node statistics (Najm's transition
+// density and the Parker–McCluskey probability) without the per-node power
+// evaluation — the cheap propagation step used on nets whose driving gate
+// is not currently being reordered.
+func OutputStats(g *gate.Gate, in []stoch.Signal) (stoch.Signal, error) {
+	if len(in) != len(g.Inputs) {
+		return stoch.Signal{}, fmt.Errorf("core: gate %s has %d inputs, got %d signals", g.Name, len(g.Inputs), len(in))
+	}
+	probs := make([]float64, len(in))
+	for i, s := range in {
+		if err := s.Validate(); err != nil {
+			return stoch.Signal{}, fmt.Errorf("core: gate %s input %s: %w", g.Name, g.Inputs[i], err)
+		}
+		probs[i] = s.P
+	}
+	f, err := g.Func()
+	if err != nil {
+		return stoch.Signal{}, err
+	}
+	out := stoch.Signal{P: f.Prob(probs)}
+	for i := range in {
+		out.D += f.Diff(i).Prob(probs) * in[i].D
+	}
+	return out, nil
+}
+
+// BestConfig evaluates every configuration of the gate under the given
+// input statistics and returns the minimum-power one together with its
+// analysis. The input statistics are bound to the gate's pins by position:
+// reorderings permute transistors, not the pin-to-net binding.
+func BestConfig(g *gate.Gate, in []stoch.Signal, loadCap float64, prm Params) (*GateAnalysis, error) {
+	return extremeConfig(g, in, loadCap, prm, func(cand, best float64) bool { return cand < best })
+}
+
+// WorstConfig is BestConfig's counterpart used to measure the best-versus-
+// worst reduction reported in Table 3.
+func WorstConfig(g *gate.Gate, in []stoch.Signal, loadCap float64, prm Params) (*GateAnalysis, error) {
+	return extremeConfig(g, in, loadCap, prm, func(cand, best float64) bool { return cand > best })
+}
+
+func extremeConfig(g *gate.Gate, in []stoch.Signal, loadCap float64, prm Params,
+	better func(cand, best float64) bool) (*GateAnalysis, error) {
+	var chosen *GateAnalysis
+	for _, cfg := range g.AllConfigs() {
+		a, err := AnalyzeGate(cfg, in, loadCap, prm)
+		if err != nil {
+			return nil, err
+		}
+		if chosen == nil || better(a.Power, chosen.Power) {
+			chosen = a
+		}
+	}
+	if chosen == nil {
+		return nil, fmt.Errorf("core: gate %s has no configurations", g.Name)
+	}
+	return chosen, nil
+}

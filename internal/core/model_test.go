@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/sp"
+	"repro/internal/stoch"
+)
+
+func inv(t testing.TB) *gate.Gate {
+	t.Helper()
+	return gate.MustNew("inv", []string{"a"}, sp.MustParse("a"))
+}
+
+func nand2(t testing.TB) *gate.Gate {
+	t.Helper()
+	return gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+}
+
+func oai21(t testing.TB) *gate.Gate {
+	t.Helper()
+	return gate.MustNew("oai21", []string{"a1", "a2", "b"}, sp.MustParse("s(p(a1,a2),b)"))
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{Vdd: 0, Cj: 1e-15},
+		{Vdd: 3.3, Cj: -1e-15},
+		{Vdd: 3.3, Cj: 0},
+		{Vdd: 3.3, Cj: 1e-15, Cg: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestInverterMatchesClosedForm(t *testing.T) {
+	// The inverter has no internal nodes: power = ½·C_y·Vdd²·D(a), with
+	// C_y = 2·Cj + load; P(y) = 1-P(a), D(y) = D(a).
+	prm := DefaultParams()
+	in := []stoch.Signal{{P: 0.3, D: 2e5}}
+	load := prm.OutputLoad(2)
+	a, err := AnalyzeGate(inv(t), in, load, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCap := 2*prm.Cj + load
+	wantPow := 0.5 * prm.Vdd * prm.Vdd * wantCap * 2e5
+	if rel := math.Abs(a.Power-wantPow) / wantPow; rel > 1e-12 {
+		t.Errorf("inverter power = %g, want %g", a.Power, wantPow)
+	}
+	if math.Abs(a.Out.P-0.7) > 1e-12 {
+		t.Errorf("P(y) = %g, want 0.7", a.Out.P)
+	}
+	if math.Abs(a.Out.D-2e5) > 1e-9 {
+		t.Errorf("D(y) = %g, want 2e5", a.Out.D)
+	}
+	if len(a.Nodes) != 1 || !a.Nodes[0].IsOut {
+		t.Errorf("inverter should have exactly the output node, got %d nodes", len(a.Nodes))
+	}
+}
+
+func TestNandOutputDensityIsNajm(t *testing.T) {
+	// y = ¬(ab): ∂y/∂a = b, ∂y/∂b = a, so D(y) = P(b)·D(a) + P(a)·D(b).
+	prm := DefaultParams()
+	in := []stoch.Signal{{P: 0.4, D: 1e5}, {P: 0.9, D: 3e4}}
+	a, err := AnalyzeGate(nand2(t), in, 0, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD := 0.9*1e5 + 0.4*3e4
+	if math.Abs(a.Out.D-wantD) > 1e-6 {
+		t.Errorf("D(y) = %g, want %g", a.Out.D, wantD)
+	}
+	wantP := 1 - 0.4*0.9
+	if math.Abs(a.Out.P-wantP) > 1e-12 {
+		t.Errorf("P(y) = %g, want %g", a.Out.P, wantP)
+	}
+}
+
+func TestOutputStatsAgreesWithAnalyze(t *testing.T) {
+	in := []stoch.Signal{{P: 0.25, D: 1e5}, {P: 0.5, D: 2e5}, {P: 0.75, D: 4e5}}
+	g := oai21(t)
+	a, err := AnalyzeGate(g, in, 1e-15, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OutputStats(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Out.P-s.P) > 1e-12 || math.Abs(a.Out.D-s.D) > 1e-6 {
+		t.Errorf("OutputStats %v != AnalyzeGate.Out %v", s, a.Out)
+	}
+}
+
+func TestOutputStatsInvariantUnderReordering(t *testing.T) {
+	// Monotonicity precondition (paper Sec. 4.2): every configuration of a
+	// gate yields identical output statistics.
+	g := oai21(t)
+	in := []stoch.Signal{{P: 0.3, D: 1e4}, {P: 0.5, D: 1e5}, {P: 0.7, D: 1e6}}
+	ref, err := OutputStats(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range g.AllConfigs() {
+		s, err := OutputStats(cfg, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.P-ref.P) > 1e-12 || math.Abs(s.D-ref.D) > 1e-6 {
+			t.Errorf("config %s changed output stats: %v vs %v", cfg.ConfigKey(), s, ref)
+		}
+	}
+}
+
+func TestMotivationGateNodeNumbers(t *testing.T) {
+	// Hand-computed values for the Fig. 2(a) configuration under uniform
+	// P=0.5: internal pull-down node has H = ¬b(a1+a2), G = b, so
+	// P(H)=0.375, P(G)=0.5, P(n)=3/7.
+	g := oai21(t)
+	in := []stoch.Signal{{P: 0.5, D: 1e4}, {P: 0.5, D: 1e5}, {P: 0.5, D: 1e6}}
+	a, err := AnalyzeGate(g, in, 0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pdNode *NodeAnalysis
+	for i := range a.Nodes {
+		if a.Nodes[i].Name == "n0" {
+			pdNode = &a.Nodes[i]
+		}
+	}
+	if pdNode == nil {
+		t.Fatal("pull-down internal node not found")
+	}
+	if math.Abs(pdNode.PH-0.375) > 1e-12 {
+		t.Errorf("P(H_n0) = %g, want 0.375", pdNode.PH)
+	}
+	if math.Abs(pdNode.PG-0.5) > 1e-12 {
+		t.Errorf("P(G_n0) = %g, want 0.5", pdNode.PG)
+	}
+	if math.Abs(pdNode.P-3.0/7.0) > 1e-12 {
+		t.Errorf("P(n0) = %g, want 3/7", pdNode.P)
+	}
+	// T_n0 = 0.1429·(Da1+Da2) + 0.857·Db (see DESIGN.md §2 derivation).
+	wantT := (4.0/28.0)*(1e4+1e5) + (6.0/7.0)*1e6
+	if rel := math.Abs(pdNode.T-wantT) / wantT; rel > 1e-9 {
+		t.Errorf("T_n0 = %g, want %g", pdNode.T, wantT)
+	}
+}
+
+// table1Case runs the motivation experiment for one activity scenario and
+// returns the best and worst configurations with their powers.
+func table1Case(t *testing.T, d1, d2, db float64) (best, worst *GateAnalysis) {
+	t.Helper()
+	g := oai21(t)
+	prm := DefaultParams()
+	in := []stoch.Signal{{P: 0.5, D: d1}, {P: 0.5, D: d2}, {P: 0.5, D: db}}
+	load := prm.OutputLoad(1)
+	var err error
+	best, err = BestConfig(g, in, load, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err = WorstConfig(g, in, load, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return best, worst
+}
+
+func TestTable1BestConfigurationFlips(t *testing.T) {
+	// Paper Table 1: with Da1=10K, Da2=100K, Db=1M the best reordering
+	// differs from the one with Da1=1M, Da2=100K, Db=10K, and picking the
+	// right one saves 15–25% in each case (19%/17% in the paper; the
+	// absolute numbers depend on the extracted capacitances).
+	best1, worst1 := table1Case(t, 1e4, 1e5, 1e6)
+	best2, worst2 := table1Case(t, 1e6, 1e5, 1e4)
+	if best1.Gate.ConfigKey() == best2.Gate.ConfigKey() {
+		t.Errorf("best configuration did not flip between activity cases: %s", best1.Gate.ConfigKey())
+	}
+	red1 := 1 - best1.Power/worst1.Power
+	red2 := 1 - best2.Power/worst2.Power
+	if red1 < 0.10 || red1 > 0.45 {
+		t.Errorf("case 1 reduction = %.1f%%, want within 10–45%%", 100*red1)
+	}
+	if red2 < 0.10 || red2 > 0.45 {
+		t.Errorf("case 2 reduction = %.1f%%, want within 10–45%%", 100*red2)
+	}
+	// In case 1 the hot input is b: the best pull-down keeps b away from
+	// the internal node path hammering; concretely the chosen PDN must
+	// differ between the cases.
+	if best1.Gate.PD.ConfigKey() == best2.Gate.PD.ConfigKey() {
+		t.Errorf("pull-down ordering did not flip: %s", best1.Gate.PD.ConfigKey())
+	}
+}
+
+func TestBestNeverWorseThanWorst(t *testing.T) {
+	g := oai21(t)
+	prm := DefaultParams()
+	cases := [][]stoch.Signal{
+		{{P: 0.5, D: 1e4}, {P: 0.5, D: 1e5}, {P: 0.5, D: 1e6}},
+		{{P: 0.1, D: 1e6}, {P: 0.9, D: 1e3}, {P: 0.5, D: 1e5}},
+		{{P: 0.5, D: 0}, {P: 0.5, D: 0}, {P: 0.5, D: 0}},
+	}
+	for i, in := range cases {
+		b, err := BestConfig(g, in, 0, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := WorstConfig(g, in, 0, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Power > w.Power+1e-30 {
+			t.Errorf("case %d: best %g > worst %g", i, b.Power, w.Power)
+		}
+	}
+}
+
+func TestZeroActivityZeroPower(t *testing.T) {
+	in := []stoch.Signal{{P: 0.5, D: 0}, {P: 0.5, D: 0}, {P: 0.5, D: 0}}
+	a, err := AnalyzeGate(oai21(t), in, 0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Power != 0 {
+		t.Errorf("power = %g with zero input activity", a.Power)
+	}
+	if a.Out.D != 0 {
+		t.Errorf("output density = %g with zero input activity", a.Out.D)
+	}
+}
+
+func TestPowerScalesLinearlyWithDensity(t *testing.T) {
+	g := nand2(t)
+	prm := DefaultParams()
+	in1 := []stoch.Signal{{P: 0.5, D: 1e5}, {P: 0.5, D: 2e5}}
+	in2 := []stoch.Signal{{P: 0.5, D: 3e5}, {P: 0.5, D: 6e5}}
+	a1, err := AnalyzeGate(g, in1, 0, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AnalyzeGate(g, in2, 0, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(a2.Power-3*a1.Power) / a2.Power; rel > 1e-9 {
+		t.Errorf("power not linear in density: %g vs 3·%g", a2.Power, a1.Power)
+	}
+}
+
+func TestPowerScalesWithVddSquared(t *testing.T) {
+	g := nand2(t)
+	in := []stoch.Signal{{P: 0.5, D: 1e5}, {P: 0.5, D: 2e5}}
+	p1 := DefaultParams()
+	p2 := p1
+	p2.Vdd = 2 * p1.Vdd
+	a1, err := AnalyzeGate(g, in, 0, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AnalyzeGate(g, in, 0, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(a2.Power-4*a1.Power) / a2.Power; rel > 1e-12 {
+		t.Errorf("power not quadratic in Vdd: %g vs 4·%g", a2.Power, a1.Power)
+	}
+}
+
+func TestAnalyzeGateErrors(t *testing.T) {
+	g := nand2(t)
+	prm := DefaultParams()
+	if _, err := AnalyzeGate(g, []stoch.Signal{{P: 0.5, D: 1}}, 0, prm); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if _, err := AnalyzeGate(g, []stoch.Signal{{P: 2, D: 1}, {P: 0.5, D: 1}}, 0, prm); err == nil {
+		t.Error("invalid probability accepted")
+	}
+	if _, err := AnalyzeGate(g, []stoch.Signal{{P: 0.5, D: 1}, {P: 0.5, D: 1}}, -1, prm); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := AnalyzeGate(g, []stoch.Signal{{P: 0.5, D: 1}, {P: 0.5, D: 1}}, 0, Params{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestInternalNodePowerExcludedFromOutputOnlyView(t *testing.T) {
+	// The ablation the paper motivates: an output-only model cannot
+	// distinguish configurations. Verify that the internal nodes are what
+	// separates them.
+	g := oai21(t)
+	in := []stoch.Signal{{P: 0.5, D: 1e4}, {P: 0.5, D: 1e5}, {P: 0.5, D: 1e6}}
+	prm := DefaultParams()
+	outPowers := map[string]bool{}
+	totPowers := map[string]bool{}
+	for _, cfg := range g.AllConfigs() {
+		a, err := AnalyzeGate(cfg, in, prm.OutputLoad(1), prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outP float64
+		for _, n := range a.Nodes {
+			if n.IsOut {
+				outP = n.Power
+			}
+		}
+		// Output-node power only differs through junction-count changes,
+		// its transition count T is identical across configs.
+		outPowers[formatPower(outP)] = true
+		totPowers[formatPower(a.Power)] = true
+	}
+	if len(totPowers) < 3 {
+		t.Errorf("total power distinguishes only %d of 4 configs", len(totPowers))
+	}
+}
+
+func formatPower(p float64) string {
+	return stoch.Signal{P: 0, D: p}.String()
+}
+
+func BenchmarkAnalyzeGateOAI21(b *testing.B) {
+	g := gate.MustNew("oai21", []string{"a1", "a2", "b"}, sp.MustParse("s(p(a1,a2),b)"))
+	in := []stoch.Signal{{P: 0.5, D: 1e4}, {P: 0.5, D: 1e5}, {P: 0.5, D: 1e6}}
+	prm := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeGate(g, in, 0, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestConfigAOI221(b *testing.B) {
+	g := gate.MustNew("aoi221", []string{"a1", "a2", "b1", "b2", "c"},
+		sp.MustParse("p(s(a1,a2),s(b1,b2),c)"))
+	in := []stoch.Signal{
+		{P: 0.5, D: 1e4}, {P: 0.5, D: 1e5}, {P: 0.5, D: 1e6},
+		{P: 0.5, D: 5e5}, {P: 0.5, D: 2e4},
+	}
+	prm := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BestConfig(g, in, 0, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/sp"
+	"repro/internal/stoch"
+)
+
+// randomGate draws a random read-once complementary gate for invariant
+// checks.
+func randomGate(rng *rand.Rand, n int) (*gate.Gate, error) {
+	pd := sp.RandomExpr(rng, n)
+	return gate.New("rand", pd.Inputs(), pd)
+}
+
+func randomSignals(rng *rand.Rand, n int) []stoch.Signal {
+	in := make([]stoch.Signal, n)
+	for i := range in {
+		in[i] = stoch.Signal{P: rng.Float64(), D: rng.Float64() * 1e6}
+	}
+	return in
+}
+
+func TestPropertyNodeProbabilitiesInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	prm := DefaultParams()
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		g, err := randomGate(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := randomSignals(rng, n)
+		a, err := AnalyzeGate(g, in, prm.OutputLoad(1+rng.Intn(3)), prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, node := range a.Nodes {
+			if node.P < -1e-12 || node.P > 1+1e-12 {
+				t.Fatalf("gate %v node %s: P=%v out of range", g, node.Name, node.P)
+			}
+			if node.T < -1e-9 {
+				t.Fatalf("gate %v node %s: negative transitions %v", g, node.Name, node.T)
+			}
+			if node.Power < -1e-30 {
+				t.Fatalf("gate %v node %s: negative power %v", g, node.Name, node.Power)
+			}
+			for i, ti := range node.TByIn {
+				if ti < -1e-9 {
+					t.Fatalf("gate %v node %s input %d: negative T %v", g, node.Name, i, ti)
+				}
+			}
+		}
+		if a.Power < 0 {
+			t.Fatalf("gate %v: negative power", g)
+		}
+		if err := a.Out.Validate(); err != nil {
+			t.Fatalf("gate %v: invalid output stats: %v", g, err)
+		}
+	}
+}
+
+func TestPropertyOutputStatsConfigInvariant(t *testing.T) {
+	// Sec. 4.2's precondition on arbitrary random gates: every
+	// configuration propagates identical output statistics.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		g, err := randomGate(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.CountConfigs() > 60 {
+			continue
+		}
+		in := randomSignals(rng, n)
+		ref, err := OutputStats(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range g.AllConfigs() {
+			s, err := OutputStats(cfg, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(s.P-ref.P) > 1e-9 || math.Abs(s.D-ref.D)/(ref.D+1) > 1e-9 {
+				t.Fatalf("gate %v config %s: output stats drifted (%v vs %v)",
+					g, cfg.ConfigKey(), s, ref)
+			}
+		}
+	}
+}
+
+func TestPropertyOutputDensityIsNajm(t *testing.T) {
+	// At the output node the extended model must collapse to Najm's
+	// transition density, for any gate and statistics.
+	rng := rand.New(rand.NewSource(43))
+	prm := DefaultParams()
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(5)
+		g, err := randomGate(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := randomSignals(rng, n)
+		a, err := AnalyzeGate(g, in, 0, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := g.Func()
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs := make([]float64, n)
+		for i := range in {
+			probs[i] = in[i].P
+		}
+		var najm float64
+		for i := range in {
+			najm += f.Diff(i).Prob(probs) * in[i].D
+		}
+		if math.Abs(a.Out.D-najm)/(najm+1) > 1e-9 {
+			t.Fatalf("gate %v: model D(y)=%v, Najm %v", g, a.Out.D, najm)
+		}
+	}
+}
+
+func TestPropertyInternalHGDisjoint(t *testing.T) {
+	// No random complementary gate may allow a rail-to-rail short through
+	// any node: H·G ≡ 0 (checked via the graph invariant).
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(6)
+		g, err := randomGate(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := g.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gr.CheckComplementary(); err != nil {
+			t.Fatalf("gate %v: %v", g, err)
+		}
+	}
+}
+
+func TestPropertyPowerMonotoneInLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	prm := DefaultParams()
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(5)
+		g, err := randomGate(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := randomSignals(rng, n)
+		a1, err := AnalyzeGate(g, in, 1e-15, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := AnalyzeGate(g, in, 5e-15, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a2.Power < a1.Power-1e-30 {
+			t.Fatalf("gate %v: power decreased with load (%g -> %g)", g, a1.Power, a2.Power)
+		}
+	}
+}
+
+func TestPropertyBestConfigIsArgmin(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	prm := DefaultParams()
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(3)
+		g, err := randomGate(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.CountConfigs() > 30 {
+			continue
+		}
+		in := randomSignals(rng, n)
+		best, err := BestConfig(g, in, 1e-15, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range g.AllConfigs() {
+			a, err := AnalyzeGate(cfg, in, 1e-15, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Power < best.Power-1e-25 {
+				t.Fatalf("gate %v: config %s beats BestConfig (%g < %g)",
+					g, cfg.ConfigKey(), a.Power, best.Power)
+			}
+		}
+	}
+}

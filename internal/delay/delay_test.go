@@ -1,0 +1,248 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/sp"
+	"repro/internal/stoch"
+)
+
+func TestInverterDelayClosedForm(t *testing.T) {
+	prm := DefaultParams()
+	g := gate.MustNew("inv", []string{"a"}, sp.MustParse("a"))
+	load := 10e-15
+	d, err := PinDelays(g, load, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy := 2*prm.Cap.Cj + load
+	want := math.Max(prm.Rn*cy, prm.Rp*cy)
+	if math.Abs(d[0]-want)/want > 1e-12 {
+		t.Errorf("inverter delay = %g, want %g", d[0], want)
+	}
+}
+
+func TestNand2PositionEffect(t *testing.T) {
+	// In s(a,b) (a near output, b near ground) the falling transition
+	// through b must also discharge the internal node: pin b is slower.
+	prm := DefaultParams()
+	g := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	load := 5e-15
+	d, err := PinDelays(g, load, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[1] <= d[0] {
+		t.Errorf("bottom pin (%g) not slower than top pin (%g)", d[1], d[0])
+	}
+	// Exact values: C_Y = 3Cj+load; C_n0 = 2Cj.
+	cy := 3*prm.Cap.Cj + load
+	cn := 2 * prm.Cap.Cj
+	wantTop := math.Max(2*prm.Rn*cy, prm.Rp*cy)
+	wantBot := math.Max(2*prm.Rn*cy+prm.Rn*cn, prm.Rp*cy)
+	if math.Abs(d[0]-wantTop)/wantTop > 1e-12 {
+		t.Errorf("top pin delay = %g, want %g", d[0], wantTop)
+	}
+	if math.Abs(d[1]-wantBot)/wantBot > 1e-12 {
+		t.Errorf("bottom pin delay = %g, want %g", d[1], wantBot)
+	}
+}
+
+func TestNand3MonotonePositions(t *testing.T) {
+	prm := DefaultParams()
+	g := gate.MustNew("nand3", []string{"a", "b", "c"}, sp.MustParse("s(a,b,c)"))
+	d, err := PinDelays(g, 0, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d[0] <= d[1] && d[1] <= d[2]) {
+		t.Errorf("pin delays not monotone with stack depth: %v", d)
+	}
+}
+
+func TestDelayOptimalPutsLateInputNearOutput(t *testing.T) {
+	prm := DefaultParams()
+	g := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	// b arrives late: the optimal configuration has b near the output.
+	cfg, arr, err := DelayOptimal(g, []float64{0, 5e-9}, 0, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PD.String() != "s(b,a)" {
+		t.Errorf("delay-optimal PD = %s, want s(b,a)", cfg.PD)
+	}
+	// And symmetric: a late puts a near output.
+	cfg2, arr2, err := DelayOptimal(g, []float64{5e-9, 0}, 0, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.PD.String() != "s(a,b)" {
+		t.Errorf("delay-optimal PD = %s, want s(a,b)", cfg2.PD)
+	}
+	if math.Abs(arr-arr2) > 1e-15 {
+		t.Errorf("symmetric cases gave different arrivals: %g vs %g", arr, arr2)
+	}
+}
+
+func TestDelayVsPowerRuleConflict(t *testing.T) {
+	// Section 5 of the paper: the delay rule (critical/late transistor near
+	// the output) can contradict the low-power placement. Make pin a late
+	// but quiet and pin b early but hot: the delay-optimal and
+	// power-optimal configurations must differ.
+	dprm := DefaultParams()
+	pprm := core.DefaultParams()
+	g := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	delayCfg, _, err := DelayOptimal(g, []float64{5e-9, 0}, 0, dprm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerCfg, err := core.BestConfig(g, []stoch.Signal{{P: 0.5, D: 1e4}, {P: 0.5, D: 1e6}}, 0, pprm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayCfg.ConfigKey() == powerCfg.Gate.ConfigKey() {
+		t.Errorf("expected conflicting optima, both chose %s", delayCfg.ConfigKey())
+	}
+}
+
+func TestCircuitDelayChain(t *testing.T) {
+	prm := DefaultParams()
+	invCell := gate.MustNew("inv", []string{"a"}, sp.MustParse("a"))
+	c := &circuit.Circuit{
+		Name:    "chain",
+		Inputs:  []string{"n0"},
+		Outputs: []string{"n3"},
+		Gates: []*circuit.Instance{
+			{Name: "i1", Cell: invCell, Pins: []string{"n0"}, Out: "n1"},
+			{Name: "i2", Cell: invCell, Pins: []string{"n1"}, Out: "n2"},
+			{Name: "i3", Cell: invCell, Pins: []string{"n2"}, Out: "n3"},
+		},
+	}
+	res, err := CircuitDelay(c, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every stage drives one load (a pin or the PO): identical stage delay.
+	cy := 2*prm.Cap.Cj + prm.Cap.OutputLoad(1)
+	stage := prm.Rp * cy
+	if math.Abs(res.Delay-3*stage)/res.Delay > 1e-12 {
+		t.Errorf("chain delay = %g, want %g", res.Delay, 3*stage)
+	}
+	if len(res.Critical) != 3 {
+		t.Errorf("critical path has %d gates, want 3", len(res.Critical))
+	}
+	if res.Arrival["n1"] >= res.Arrival["n2"] {
+		t.Error("arrivals not increasing along the chain")
+	}
+}
+
+func TestCircuitDelayPicksLongerBranch(t *testing.T) {
+	prm := DefaultParams()
+	invCell := gate.MustNew("inv", []string{"a"}, sp.MustParse("a"))
+	nandCell := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	// x → inv → inv → m ; y direct; z = nand(m, y).
+	c := &circuit.Circuit{
+		Name:    "branch",
+		Inputs:  []string{"x", "y"},
+		Outputs: []string{"z"},
+		Gates: []*circuit.Instance{
+			{Name: "i1", Cell: invCell, Pins: []string{"x"}, Out: "t"},
+			{Name: "i2", Cell: invCell, Pins: []string{"t"}, Out: "m"},
+			{Name: "g", Cell: nandCell, Pins: []string{"m", "y"}, Out: "z"},
+		},
+	}
+	res, err := CircuitDelay(c, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"i1", "i2", "g"}
+	if len(res.Critical) != len(want) {
+		t.Fatalf("critical path = %v", res.Critical)
+	}
+	for i := range want {
+		if res.Critical[i] != want[i] {
+			t.Fatalf("critical path = %v, want %v", res.Critical, want)
+		}
+	}
+}
+
+func TestDelayParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Rn: 0, Rp: 1, Cap: core.DefaultParams()},
+		{Rn: 1, Rp: -1, Cap: core.DefaultParams()},
+		{Rn: 1, Rp: 1, Cap: core.Params{}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params rejected: %v", err)
+	}
+}
+
+func TestPinDelaysErrors(t *testing.T) {
+	g := gate.MustNew("inv", []string{"a"}, sp.MustParse("a"))
+	if _, err := PinDelays(g, -1, DefaultParams()); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := PinDelays(g, 0, Params{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestDelayOptimalErrors(t *testing.T) {
+	g := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	if _, _, err := DelayOptimal(g, []float64{0}, 0, DefaultParams()); err == nil {
+		t.Error("wrong arrival count accepted")
+	}
+}
+
+func TestComplexGateDelaysAllPositive(t *testing.T) {
+	prm := DefaultParams()
+	gates := []*gate.Gate{
+		gate.MustNew("oai21", []string{"a1", "a2", "b"}, sp.MustParse("s(p(a1,a2),b)")),
+		gate.MustNew("aoi221", []string{"a1", "a2", "b1", "b2", "c"}, sp.MustParse("p(s(a1,a2),s(b1,b2),c)")),
+		gate.MustNew("aoi222", []string{"a1", "a2", "b1", "b2", "c1", "c2"}, sp.MustParse("p(s(a1,a2),s(b1,b2),s(c1,c2))")),
+	}
+	for _, g := range gates {
+		for _, cfg := range g.AllConfigs() {
+			d, err := PinDelays(cfg, 1e-15, prm)
+			if err != nil {
+				t.Fatalf("%s %s: %v", g.Name, cfg.ConfigKey(), err)
+			}
+			for i, v := range d {
+				if v <= 0 {
+					t.Errorf("%s pin %d delay %g not positive", g.Name, i, v)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkCircuitDelayChain32(b *testing.B) {
+	prm := DefaultParams()
+	invCell := gate.MustNew("inv", []string{"a"}, sp.MustParse("a"))
+	c := &circuit.Circuit{Name: "chain", Inputs: []string{nameOf("w", 0)}, Outputs: []string{nameOf("w", 32)}}
+	for i := 0; i < 32; i++ {
+		c.Gates = append(c.Gates, &circuit.Instance{
+			Name: nameOf("g", i), Cell: invCell,
+			Pins: []string{nameOf("w", i)}, Out: nameOf("w", i+1),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CircuitDelay(c, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func nameOf(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,70 @@
+package expt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stoch"
+)
+
+// ParseStats reads a primary-input statistics file: one "net P D" triple
+// per line (P the equilibrium probability, D the transition density in
+// transitions per second), '#' comments.
+func ParseStats(r io.Reader) (map[string]stoch.Signal, error) {
+	sc := bufio.NewScanner(r)
+	stats := map[string]stoch.Signal{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("stats:%d: want \"net P D\", got %q", lineNo, line)
+		}
+		p, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats:%d: bad probability %q: %v", lineNo, fields[1], err)
+		}
+		d, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats:%d: bad density %q: %v", lineNo, fields[2], err)
+		}
+		s := stoch.Signal{P: p, D: d}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("stats:%d: %v", lineNo, err)
+		}
+		if _, dup := stats[fields[0]]; dup {
+			return nil, fmt.Errorf("stats:%d: duplicate net %q", lineNo, fields[0])
+		}
+		stats[fields[0]] = s
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// WriteStats renders statistics in the ParseStats format, sorted by net.
+func WriteStats(w io.Writer, stats map[string]stoch.Signal) error {
+	nets := make([]string, 0, len(stats))
+	for n := range stats {
+		nets = append(nets, n)
+	}
+	sort.Strings(nets)
+	bw := bufio.NewWriter(w)
+	for _, n := range nets {
+		s := stats[n]
+		fmt.Fprintf(bw, "%s %g %g\n", n, s.P, s.D)
+	}
+	return bw.Flush()
+}

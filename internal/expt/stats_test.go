@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stoch"
+)
+
+func TestParseStats(t *testing.T) {
+	src := `# input statistics
+a 0.5 1e5
+b 0.25 250000   # hot
+c 1 0
+`
+	stats, err := ParseStats(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("parsed %d entries", len(stats))
+	}
+	if stats["a"].D != 1e5 || stats["b"].P != 0.25 || stats["c"].P != 1 {
+		t.Errorf("values wrong: %+v", stats)
+	}
+}
+
+func TestParseStatsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"too few fields", "a 0.5\n"},
+		{"too many fields", "a 0.5 1 2\n"},
+		{"bad probability", "a x 1\n"},
+		{"bad density", "a 0.5 x\n"},
+		{"out of range P", "a 1.5 1\n"},
+		{"negative D", "a 0.5 -1\n"},
+		{"duplicate", "a 0.5 1\na 0.5 2\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseStats(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := map[string]stoch.Signal{
+		"x":  {P: 0.125, D: 42},
+		"yy": {P: 1, D: 0},
+	}
+	var buf strings.Builder
+	if err := WriteStats(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseStats(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost entries: %v", out)
+	}
+	for net, s := range in {
+		if out[net] != s {
+			t.Errorf("net %s: %v -> %v", net, s, out[net])
+		}
+	}
+}
+
+func TestWriteStatsSorted(t *testing.T) {
+	var buf strings.Builder
+	err := WriteStats(&buf, map[string]stoch.Signal{
+		"z": {P: 0.5, D: 1}, "a": {P: 0.5, D: 1}, "m": {P: 0.5, D: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "a ") || !strings.HasPrefix(lines[2], "z ") {
+		t.Errorf("not sorted:\n%s", buf.String())
+	}
+}

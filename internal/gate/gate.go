@@ -1,0 +1,236 @@
+package gate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/sp"
+)
+
+// Gate is one configuration of a static CMOS gate: an ordered pull-down
+// network and an ordered pull-up network over the same input pins. The
+// unordered pair (the "shape") identifies the cell; the ordered pair
+// identifies a transistor arrangement (one column of the paper's Fig. 1).
+type Gate struct {
+	Name   string   // cell name, e.g. "oai21"
+	Inputs []string // pin order; functions are over these variables
+	PD     *sp.Expr // pull-down (NMOS), serialized output → ground
+	PU     *sp.Expr // pull-up (PMOS), serialized power → output
+}
+
+// New builds a gate from its pull-down network, deriving the canonical
+// complementary pull-up as the dual.
+func New(name string, inputs []string, pd *sp.Expr) (*Gate, error) {
+	return NewWithPU(name, inputs, pd, pd.Dual())
+}
+
+// NewWithPU builds a gate with an explicitly ordered pull-up network;
+// the pull-up must be the series-parallel dual of the pull-down up to
+// ordering (checked via the complementarity of the conduction functions).
+func NewWithPU(name string, inputs []string, pd, pu *sp.Expr) (*Gate, error) {
+	g := &Gate{Name: name, Inputs: append([]string(nil), inputs...), PD: pd.Flatten(), PU: pu.Flatten()}
+	gr, err := g.Graph()
+	if err != nil {
+		return nil, err
+	}
+	if err := gr.CheckComplementary(); err != nil {
+		return nil, fmt.Errorf("gate %s: %w", name, err)
+	}
+	return g, nil
+}
+
+// MustNew is New that panics on error, for compile-time cell tables.
+func MustNew(name string, inputs []string, pd *sp.Expr) *Gate {
+	g, err := New(name, inputs, pd)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Graph builds the transistor graph of this configuration.
+func (g *Gate) Graph() (*Graph, error) {
+	return BuildGraph(g.Inputs, g.PD, g.PU)
+}
+
+// Func returns the gate's boolean function over its input pin order.
+func (g *Gate) Func() (logic.Func, error) {
+	vars := make(map[string]int, len(g.Inputs))
+	for i, in := range g.Inputs {
+		vars[in] = i
+	}
+	pd, err := g.PD.Conduction(vars, len(g.Inputs), false)
+	if err != nil {
+		return logic.Func{}, err
+	}
+	return pd.Not(), nil
+}
+
+// ConfigKey identifies this transistor arrangement; all orderings of the
+// same cell share a ShapeKey but differ in ConfigKey.
+func (g *Gate) ConfigKey() string {
+	return g.PD.ConfigKey() + "/" + g.PU.ConfigKey()
+}
+
+// ShapeKey identifies the cell independent of ordering.
+func (g *Gate) ShapeKey() string {
+	return g.PD.ShapeKey() + "/" + g.PU.ShapeKey()
+}
+
+// NumTransistors returns the total transistor count (both networks).
+func (g *Gate) NumTransistors() int {
+	return g.PD.NumTransistors() + g.PU.NumTransistors()
+}
+
+// CountConfigs returns the number of distinct configurations of the gate:
+// the product of the ordering counts of the two networks (they reorder
+// independently). This is the #C column of the paper's Table 2.
+func (g *Gate) CountConfigs() int {
+	return sp.CountOrderings(g.PD) * sp.CountOrderings(g.PU)
+}
+
+// AllConfigs enumerates every distinct configuration, sorted by ConfigKey.
+func (g *Gate) AllConfigs() []*Gate {
+	var out []*Gate
+	for _, pd := range sp.Orderings(g.PD) {
+		for _, pu := range sp.Orderings(g.PU) {
+			out = append(out, &Gate{Name: g.Name, Inputs: g.Inputs, PD: pd, PU: pu})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ConfigKey() < out[j].ConfigKey() })
+	return out
+}
+
+// ExploreStep records one pivot application for tracing (Fig. 5).
+type ExploreStep struct {
+	PivotNode int    // global internal-node index (pull-down nodes first)
+	Config    string // ConfigKey reached
+	New       bool
+}
+
+// FindAllConfigs runs the paper's exhaustive exploration (Fig. 4) on the
+// whole gate: internal nodes of the pull-down network are indexed first,
+// then the pull-up's. Pivoting on a node transposes the two series
+// sub-networks adjacent to it. The visited set is keyed by ConfigKey.
+// Tests assert the result equals AllConfigs ([5] proves completeness).
+func (g *Gate) FindAllConfigs(trace *[]ExploreStep) []*Gate {
+	pdn := g.PD.NumInternalNodes()
+	pun := g.PU.NumInternalNodes()
+	total := pdn + pun
+	pivot := func(cur *Gate, node int) *Gate {
+		if node < pdn {
+			return &Gate{Name: cur.Name, Inputs: cur.Inputs, PD: sp.Pivot(cur.PD, node), PU: cur.PU}
+		}
+		return &Gate{Name: cur.Name, Inputs: cur.Inputs, PD: cur.PD, PU: sp.Pivot(cur.PU, node-pdn)}
+	}
+	start := &Gate{Name: g.Name, Inputs: g.Inputs, PD: g.PD.Flatten(), PU: g.PU.Flatten()}
+	visited := map[string]bool{start.ConfigKey(): true}
+	order := []*Gate{start}
+	var search func(cur *Gate, node int)
+	search = func(cur *Gate, node int) {
+		next := pivot(cur, node)
+		key := next.ConfigKey()
+		isNew := !visited[key]
+		if trace != nil {
+			*trace = append(*trace, ExploreStep{PivotNode: node, Config: key, New: isNew})
+		}
+		if !isNew {
+			return
+		}
+		visited[key] = true
+		order = append(order, next)
+		for i := 0; i < total; i++ {
+			if i != node {
+				search(next, i)
+			}
+		}
+	}
+	for i := 0; i < total; i++ {
+		search(start, i)
+	}
+	return order
+}
+
+// Instance is one physical cell layout: the set of configurations
+// reachable from each other purely by rewiring symmetric inputs
+// (paper Sec. 5.1: oai21[A] covers configurations (A) and (B)).
+type Instance struct {
+	Label   string // "A", "B", … in deterministic order
+	Configs []*Gate
+}
+
+// Instances partitions AllConfigs into orbits under the input
+// automorphisms of the gate shape. The number of instances is the bracket
+// count of Table 2 (aoi211[A,B,C] → 3 instances).
+func (g *Gate) Instances() []Instance {
+	configs := g.AllConfigs()
+	autos := sp.Automorphisms(g.PD) // the PU shape is the dual: same symmetries
+	idx := make(map[string]int, len(configs))
+	for i, c := range configs {
+		idx[c.ConfigKey()] = i
+	}
+	parent := make([]int, len(configs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, c := range configs {
+		for _, m := range autos {
+			img := &Gate{Name: c.Name, Inputs: c.Inputs, PD: c.PD.RenameInputs(m), PU: c.PU.RenameInputs(m)}
+			j, ok := idx[img.ConfigKey()]
+			if !ok {
+				panic("gate: automorphism image is not a configuration")
+			}
+			ri, rj := find(i), find(j)
+			if ri != rj {
+				parent[rj] = ri
+			}
+		}
+	}
+	groups := map[int][]*Gate{}
+	for i, c := range configs {
+		r := find(i)
+		groups[r] = append(groups[r], c)
+	}
+	var orbits [][]*Gate
+	for _, grp := range groups {
+		orbits = append(orbits, grp)
+	}
+	sort.Slice(orbits, func(i, j int) bool { return orbits[i][0].ConfigKey() < orbits[j][0].ConfigKey() })
+	out := make([]Instance, len(orbits))
+	for i, grp := range orbits {
+		out[i] = Instance{Label: instanceLabel(i), Configs: grp}
+	}
+	return out
+}
+
+func instanceLabel(i int) string {
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if i < len(alphabet) {
+		return alphabet[i : i+1]
+	}
+	return fmt.Sprintf("Z%d", i)
+}
+
+// WithOrdering returns the configuration of this gate with the given
+// ordered networks; the shapes must match.
+func (g *Gate) WithOrdering(pd, pu *sp.Expr) (*Gate, error) {
+	n := &Gate{Name: g.Name, Inputs: g.Inputs, PD: pd.Flatten(), PU: pu.Flatten()}
+	if n.ShapeKey() != g.ShapeKey() {
+		return nil, fmt.Errorf("gate %s: ordering has different shape %s", g.Name, n.ShapeKey())
+	}
+	return n, nil
+}
+
+// String identifies the gate and its configuration.
+func (g *Gate) String() string {
+	return fmt.Sprintf("%s{pd=%s pu=%s}", g.Name, g.PD, g.PU)
+}

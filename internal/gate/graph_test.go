@@ -1,0 +1,338 @@
+package gate
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/sp"
+)
+
+// motivationGate returns the paper's y = ¬((a1+a2)·b) gate in the
+// configuration of Fig. 2(a): pull-down pair (a1∥a2) at the output, b at
+// ground; canonical dual pull-up.
+func motivationGate(t testing.TB) *Gate {
+	t.Helper()
+	g, err := New("oai21", []string{"a1", "a2", "b"}, sp.MustParse("s(p(a1,a2),b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildGraphCounts(t *testing.T) {
+	g := motivationGate(t)
+	gr, err := g.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 NMOS + 3 PMOS transistors.
+	if len(gr.Edges) != 6 {
+		t.Errorf("edges = %d, want 6", len(gr.Edges))
+	}
+	// PDN: 1 internal node (between pair and b). PUN p(s(a1,a2),b): 1.
+	if gr.NumInternal() != 2 {
+		t.Errorf("internal nodes = %d, want 2", gr.NumInternal())
+	}
+}
+
+func TestHGMatchPaperExample(t *testing.T) {
+	// Paper Sec. 3.3.2 computes, for the internal pull-down node n1 of the
+	// Fig. 2(a) configuration: H_n1 = ¬b·(a1+a2) and G_n1 = b.
+	g := motivationGate(t)
+	gr, err := g.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a1", "a2", "b"}
+	n1 := gr.InternalNodes()[0] // first pull-down internal node
+	wantH := logic.MustParseExpr("!b (a1 + a2)", names)
+	wantG := logic.MustParseExpr("b", names)
+	if got := gr.H(n1); !got.Equal(wantH) {
+		t.Errorf("H_n1 = %v, want %v", got, wantH)
+	}
+	if got := gr.G(n1); !got.Equal(wantG) {
+		t.Errorf("G_n1 = %v, want %v", got, wantG)
+	}
+}
+
+func TestOutputFunction(t *testing.T) {
+	g := motivationGate(t)
+	f, err := g.Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := logic.MustParseExpr("!((a1 + a2) b)", []string{"a1", "a2", "b"})
+	if !f.Equal(want) {
+		t.Errorf("Func = %v, want %v", f, want)
+	}
+	gr, _ := g.Graph()
+	if !gr.OutputFunc().Equal(want) {
+		t.Error("graph OutputFunc differs from gate Func")
+	}
+}
+
+func TestCheckComplementary(t *testing.T) {
+	g := motivationGate(t)
+	gr, _ := g.Graph()
+	if err := gr.CheckComplementary(); err != nil {
+		t.Errorf("complementary gate rejected: %v", err)
+	}
+	// A deliberately broken gate: pull-up is NOT the dual (same topology as
+	// pull-down). NewWithPU must reject it.
+	if _, err := NewWithPU("bad", []string{"a", "b"},
+		sp.MustParse("s(a,b)"), sp.MustParse("s(a,b)")); err == nil {
+		t.Error("non-complementary pull-up accepted")
+	}
+}
+
+func TestHGComplementOnlyAtOutput(t *testing.T) {
+	// Footnote 2 of the paper: G_nk and H_nk are complementary only when
+	// nk is the output node.
+	g := motivationGate(t)
+	gr, _ := g.Graph()
+	hy, gy := gr.H(Y), gr.G(Y)
+	if !hy.Equal(gy.Not()) {
+		t.Error("output H/G not complementary")
+	}
+	n1 := gr.InternalNodes()[0]
+	h1, g1 := gr.H(n1), gr.G(n1)
+	if h1.Equal(g1.Not()) {
+		t.Error("internal node H/G unexpectedly complementary")
+	}
+	if !h1.And(g1).IsConst(false) {
+		t.Error("internal node H·G != 0 (short circuit)")
+	}
+}
+
+func TestAllConfigsCountMotivationGate(t *testing.T) {
+	// Fig. 1(a): the motivation gate has exactly 4 configurations.
+	g := motivationGate(t)
+	if got := g.CountConfigs(); got != 4 {
+		t.Fatalf("CountConfigs = %d, want 4", got)
+	}
+	configs := g.AllConfigs()
+	if len(configs) != 4 {
+		t.Fatalf("AllConfigs = %d, want 4", len(configs))
+	}
+	// All configurations implement the same function.
+	ref, _ := g.Func()
+	keys := map[string]bool{}
+	for _, c := range configs {
+		f, err := c.Func()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Equal(ref) {
+			t.Errorf("config %s changed the function", c.ConfigKey())
+		}
+		if keys[c.ConfigKey()] {
+			t.Errorf("duplicate config %s", c.ConfigKey())
+		}
+		keys[c.ConfigKey()] = true
+		if c.ShapeKey() != g.ShapeKey() {
+			t.Errorf("config %s changed the shape", c.ConfigKey())
+		}
+	}
+}
+
+func TestFindAllConfigsMatchesEnumeration(t *testing.T) {
+	gates := []*Gate{
+		MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)")),
+		MustNew("nand3", []string{"a", "b", "c"}, sp.MustParse("s(a,b,c)")),
+		MustNew("oai21", []string{"a1", "a2", "b"}, sp.MustParse("s(p(a1,a2),b)")),
+		MustNew("aoi21", []string{"a1", "a2", "b"}, sp.MustParse("p(s(a1,a2),b)")),
+		MustNew("aoi22", []string{"a1", "a2", "b1", "b2"}, sp.MustParse("p(s(a1,a2),s(b1,b2))")),
+		MustNew("aoi221", []string{"a1", "a2", "b1", "b2", "c"}, sp.MustParse("p(s(a1,a2),s(b1,b2),c)")),
+	}
+	for _, g := range gates {
+		want := map[string]bool{}
+		for _, c := range g.AllConfigs() {
+			want[c.ConfigKey()] = true
+		}
+		got := map[string]bool{}
+		for _, c := range g.FindAllConfigs(nil) {
+			got[c.ConfigKey()] = true
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: pivot search %d configs, enumeration %d", g.Name, len(got), len(want))
+			continue
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("%s: pivot search missed %s", g.Name, k)
+			}
+		}
+	}
+}
+
+func TestFig5TraceGeneratesAllFourReorderings(t *testing.T) {
+	// Fig. 5 of the paper: applying the exploration to the motivation gate
+	// generates all four reorderings of Fig. 1(a).
+	g := motivationGate(t)
+	var trace []ExploreStep
+	configs := g.FindAllConfigs(&trace)
+	if len(configs) != 4 {
+		t.Fatalf("exploration found %d configs, want 4", len(configs))
+	}
+	news := 0
+	for _, s := range trace {
+		if s.New {
+			news++
+		}
+	}
+	if news != 3 {
+		t.Errorf("exploration discovered %d new configs by pivoting, want 3 (plus the start)", news)
+	}
+}
+
+func TestInstancesMatchTable2Brackets(t *testing.T) {
+	// oai21[A,B]: 2 instances of 2 configurations each (paper Sec. 5.1).
+	g := motivationGate(t)
+	inst := g.Instances()
+	if len(inst) != 2 {
+		t.Fatalf("oai21 instances = %d, want 2", len(inst))
+	}
+	for _, in := range inst {
+		if len(in.Configs) != 2 {
+			t.Errorf("instance %s has %d configs, want 2", in.Label, len(in.Configs))
+		}
+	}
+	if inst[0].Label != "A" || inst[1].Label != "B" {
+		t.Errorf("instance labels = %s,%s", inst[0].Label, inst[1].Label)
+	}
+}
+
+func TestNodeStateMatchesHG(t *testing.T) {
+	// For every input minterm and every node: if H=1 the node must read 1,
+	// if G=1 it must read 0 (charge retention covers the rest).
+	gates := []*Gate{
+		motivationGate(t),
+		MustNew("nand3", []string{"a", "b", "c"}, sp.MustParse("s(a,b,c)")),
+		MustNew("aoi22", []string{"a1", "a2", "b1", "b2"}, sp.MustParse("p(s(a1,a2),s(b1,b2))")),
+	}
+	for _, g := range gates {
+		gr, err := g.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := append(gr.InternalNodes(), Y)
+		n := len(g.Inputs)
+		for m := uint(0); m < 1<<n; m++ {
+			state := gr.NodeStateAt(m, nil)
+			for _, nk := range nodes {
+				h, gg := gr.H(nk), gr.G(nk)
+				if h.Eval(m) && !state[nk] {
+					t.Errorf("%s minterm %d node %s: H=1 but state=0", g.Name, m, gr.NodeName(nk))
+				}
+				if gg.Eval(m) && state[nk] {
+					t.Errorf("%s minterm %d node %s: G=1 but state=1", g.Name, m, gr.NodeName(nk))
+				}
+			}
+		}
+	}
+}
+
+func TestNodeStateChargeRetention(t *testing.T) {
+	// nand2 with inputs a=1,b=0: internal node is isolated (a on top
+	// conducts from y? no: PDN order s(a,b): y -a- n0 -b- vss; with a=1,
+	// b=0: n0 connects to y which is pulled up → H_n0 = !  … check the
+	// retention case instead: a=0,b=0 isolates n0 from both rails except
+	// through a (off) and b (off): n0 keeps its previous value.
+	g := MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	gr, _ := g.Graph()
+	n0 := gr.InternalNodes()[0]
+	h, gg := gr.H(n0), gr.G(n0)
+	const m = 0 // a=0, b=0
+	if h.Eval(m) || gg.Eval(m) {
+		t.Fatalf("expected n0 undriven at minterm 0: H=%v G=%v", h.Eval(m), gg.Eval(m))
+	}
+	prev := make([]bool, gr.NumNodes)
+	prev[n0] = true
+	state := gr.NodeStateAt(m, prev)
+	if !state[n0] {
+		t.Error("undriven node lost its charge")
+	}
+	state = gr.NodeStateAt(m, nil)
+	if state[n0] {
+		t.Error("undriven node with no history defaulted to 1")
+	}
+}
+
+func TestBuildGraphRejectsBadInputs(t *testing.T) {
+	if _, err := BuildGraph([]string{"a", "a"}, sp.MustParse("s(a,b)"), sp.MustParse("p(a,b)")); err == nil {
+		t.Error("duplicate pin accepted")
+	}
+	if _, err := BuildGraph([]string{"a", "b"}, sp.MustParse("s(a,q)"), sp.MustParse("p(a,b)")); err == nil {
+		t.Error("unknown pull-down input accepted")
+	}
+	if _, err := BuildGraph([]string{"a", "b", "c"}, sp.MustParse("s(a,b)"), sp.MustParse("p(a,b)")); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestDegree(t *testing.T) {
+	g := MustNew("inv", []string{"a"}, sp.MustParse("a"))
+	gr, _ := g.Graph()
+	// Output touches one NMOS and one PMOS terminal.
+	if d := gr.Degree(Y); d != 2 {
+		t.Errorf("Degree(Y) = %d, want 2", d)
+	}
+	if d := gr.Degree(Vdd); d != 1 {
+		t.Errorf("Degree(Vdd) = %d, want 1", d)
+	}
+}
+
+func TestWithOrdering(t *testing.T) {
+	g := motivationGate(t)
+	flip, err := g.WithOrdering(sp.MustParse("s(b,p(a1,a2))"), g.PU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flip.ConfigKey() == g.ConfigKey() {
+		t.Error("reordered gate has same ConfigKey")
+	}
+	if _, err := g.WithOrdering(sp.MustParse("s(a1,a2)"), g.PU); err == nil {
+		t.Error("different shape accepted")
+	}
+}
+
+func TestInverterTrivial(t *testing.T) {
+	g := MustNew("inv", []string{"a"}, sp.MustParse("a"))
+	if g.CountConfigs() != 1 {
+		t.Errorf("inverter configs = %d, want 1", g.CountConfigs())
+	}
+	if got := len(g.FindAllConfigs(nil)); got != 1 {
+		t.Errorf("inverter pivot search = %d, want 1", got)
+	}
+	f, _ := g.Func()
+	if !f.Equal(logic.Var(0, 1).Not()) {
+		t.Error("inverter function wrong")
+	}
+}
+
+func BenchmarkHGExtractionAOI222(b *testing.B) {
+	g := MustNew("aoi222", []string{"a1", "a2", "b1", "b2", "c1", "c2"},
+		sp.MustParse("p(s(a1,a2),s(b1,b2),s(c1,c2))"))
+	gr, err := g.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := append(gr.InternalNodes(), Y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, nk := range nodes {
+			_ = gr.H(nk)
+			_ = gr.G(nk)
+		}
+	}
+}
+
+func BenchmarkFindAllConfigsAOI221(b *testing.B) {
+	g := MustNew("aoi221", []string{"a1", "a2", "b1", "b2", "c"},
+		sp.MustParse("p(s(a1,a2),s(b1,b2),c)"))
+	for i := 0; i < b.N; i++ {
+		if got := len(g.FindAllConfigs(nil)); got != 24 {
+			b.Fatalf("got %d configs", got)
+		}
+	}
+}

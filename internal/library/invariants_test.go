@@ -1,0 +1,114 @@
+package library
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/stoch"
+)
+
+// TestEveryConfigComplementary walks every configuration of every library
+// cell and checks the static CMOS invariants on the transistor graph.
+func TestEveryConfigComplementary(t *testing.T) {
+	for _, c := range Default().Cells() {
+		for _, cfg := range c.Proto.AllConfigs() {
+			gr, err := cfg.Graph()
+			if err != nil {
+				t.Fatalf("%s %s: %v", c.Name, cfg.ConfigKey(), err)
+			}
+			if err := gr.CheckComplementary(); err != nil {
+				t.Errorf("%s %s: %v", c.Name, cfg.ConfigKey(), err)
+			}
+		}
+	}
+}
+
+// TestEveryConfigSameFunction asserts reordering never changes a cell's
+// logic function.
+func TestEveryConfigSameFunction(t *testing.T) {
+	for _, c := range Default().Cells() {
+		for _, cfg := range c.Proto.AllConfigs() {
+			f, err := cfg.Func()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !f.Equal(c.Func) {
+				t.Errorf("%s %s: function changed", c.Name, cfg.ConfigKey())
+			}
+		}
+	}
+}
+
+// TestEveryConfigNodeStatesConsistent cross-checks the switch-level node
+// solver against the H/G path functions for every configuration of every
+// cell at every input minterm.
+func TestEveryConfigNodeStatesConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive over library configurations")
+	}
+	for _, c := range Default().Cells() {
+		for _, cfg := range c.Proto.AllConfigs() {
+			gr, err := cfg.Graph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes := append(gr.InternalNodes(), gate.Y)
+			n := len(cfg.Inputs)
+			for m := uint(0); m < 1<<n; m++ {
+				state := gr.NodeStateAt(m, nil)
+				for _, nk := range nodes {
+					if gr.H(nk).Eval(m) && !state[nk] {
+						t.Fatalf("%s %s minterm %d: H=1 but node %s low",
+							c.Name, cfg.ConfigKey(), m, gr.NodeName(nk))
+					}
+					if gr.G(nk).Eval(m) && state[nk] {
+						t.Fatalf("%s %s minterm %d: G=1 but node %s high",
+							c.Name, cfg.ConfigKey(), m, gr.NodeName(nk))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEveryCellAnalyzableAndTimeable runs the power model and the delay
+// model over every cell's proto configuration.
+func TestEveryCellAnalyzableAndTimeable(t *testing.T) {
+	prm := core.DefaultParams()
+	dprm := delay.DefaultParams()
+	for _, c := range Default().Cells() {
+		in := make([]stoch.Signal, len(c.Inputs))
+		for i := range in {
+			in[i] = stoch.Signal{P: 0.5, D: 1e5}
+		}
+		a, err := core.AnalyzeGate(c.Proto, in, prm.OutputLoad(1), prm)
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", c.Name, err)
+		}
+		if a.Power <= 0 {
+			t.Errorf("%s: zero power under live inputs", c.Name)
+		}
+		d, err := delay.PinDelays(c.Proto, prm.OutputLoad(1), dprm)
+		if err != nil {
+			t.Fatalf("%s: delays: %v", c.Name, err)
+		}
+		for pin, v := range d {
+			if v <= 0 {
+				t.Errorf("%s pin %d: non-positive delay", c.Name, pin)
+			}
+		}
+	}
+}
+
+// TestConfigCountsBounded documents the paper's observation that
+// exhaustive exploration is feasible because gates have few transistors
+// in series: no library cell exceeds 48 configurations.
+func TestConfigCountsBounded(t *testing.T) {
+	for _, c := range Default().Cells() {
+		if c.Configs > 48 {
+			t.Errorf("%s has %d configurations; exhaustive search assumption broken", c.Name, c.Configs)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cube is one product term of a sum-of-products cover in BLIF notation:
+// one byte per variable, '1' (positive literal), '0' (negative literal) or
+// '-' (absent). Cube lengths must equal the cover's variable count.
+type Cube string
+
+// FromSOP builds the function of an n-variable sum-of-products cover.
+// An empty cover is the constant 0; a cover containing an all-'-' cube is
+// the constant 1.
+func FromSOP(n int, cubes []Cube) (Func, error) {
+	checkVars(n)
+	f := Const(n, false)
+	for _, c := range cubes {
+		if len(c) != n {
+			return Func{}, fmt.Errorf("logic: cube %q has %d literals, want %d", c, len(c), n)
+		}
+		term := Const(n, true)
+		for i := 0; i < n; i++ {
+			switch c[i] {
+			case '1':
+				term = term.And(Var(i, n))
+			case '0':
+				term = term.And(Var(i, n).Not())
+			case '-':
+				// absent literal
+			default:
+				return Func{}, fmt.Errorf("logic: cube %q has invalid literal %q at position %d", c, c[i], i)
+			}
+		}
+		f = f.Or(term)
+	}
+	return f, nil
+}
+
+// SOP returns a (non-minimal) sum-of-products cover for f: one cube per
+// on-set minterm. It is the inverse of FromSOP up to cover minimality.
+func (f Func) SOP() []Cube {
+	var cubes []Cube
+	size := uint(1) << f.n
+	for m := uint(0); m < size; m++ {
+		if !f.Eval(m) {
+			continue
+		}
+		b := make([]byte, f.n)
+		for i := 0; i < f.n; i++ {
+			if m>>i&1 == 1 {
+				b[i] = '1'
+			} else {
+				b[i] = '0'
+			}
+		}
+		cubes = append(cubes, Cube(b))
+	}
+	return cubes
+}
+
+// ParseExpr parses a small boolean expression over the named variables and
+// returns its function together with the variable order used (the order of
+// names). Supported grammar, loosest binding first:
+//
+//	expr   := term ('+' term)*
+//	term   := factor (('*' | juxtaposition) factor)*
+//	factor := '!' factor | '(' expr ')' | ident | '0' | '1'
+//
+// Identifiers are letters, digits and underscores, starting with a letter
+// or underscore. Every name in names must be distinct; names not mentioned
+// in the expression are still variables of the result.
+func ParseExpr(expr string, names []string) (Func, error) {
+	n := len(names)
+	checkVars(n)
+	idx := make(map[string]int, n)
+	for i, name := range names {
+		if name == "" {
+			return Func{}, fmt.Errorf("logic: empty variable name at position %d", i)
+		}
+		if _, dup := idx[name]; dup {
+			return Func{}, fmt.Errorf("logic: duplicate variable name %q", name)
+		}
+		idx[name] = i
+	}
+	p := &exprParser{src: expr, names: idx, n: n}
+	f, err := p.parseExpr()
+	if err != nil {
+		return Func{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Func{}, fmt.Errorf("logic: trailing input %q in expression", p.src[p.pos:])
+	}
+	return f, nil
+}
+
+type exprParser struct {
+	src   string
+	pos   int
+	names map[string]int
+	n     int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) parseExpr() (Func, error) {
+	f, err := p.parseTerm()
+	if err != nil {
+		return Func{}, err
+	}
+	for p.peek() == '+' {
+		p.pos++
+		g, err := p.parseTerm()
+		if err != nil {
+			return Func{}, err
+		}
+		f = f.Or(g)
+	}
+	return f, nil
+}
+
+func (p *exprParser) parseTerm() (Func, error) {
+	f, err := p.parseFactor()
+	if err != nil {
+		return Func{}, err
+	}
+	for {
+		c := p.peek()
+		if c == '*' {
+			p.pos++
+			g, err := p.parseFactor()
+			if err != nil {
+				return Func{}, err
+			}
+			f = f.And(g)
+			continue
+		}
+		// Juxtaposition: a factor starts right here.
+		if c == '!' || c == '(' || isIdentStart(c) || c == '0' || c == '1' {
+			g, err := p.parseFactor()
+			if err != nil {
+				return Func{}, err
+			}
+			f = f.And(g)
+			continue
+		}
+		return f, nil
+	}
+}
+
+func (p *exprParser) parseFactor() (Func, error) {
+	switch c := p.peek(); {
+	case c == '!':
+		p.pos++
+		f, err := p.parseFactor()
+		if err != nil {
+			return Func{}, err
+		}
+		return f.Not(), nil
+	case c == '(':
+		p.pos++
+		f, err := p.parseExpr()
+		if err != nil {
+			return Func{}, err
+		}
+		if p.peek() != ')' {
+			return Func{}, fmt.Errorf("logic: missing ')' at offset %d of %q", p.pos, p.src)
+		}
+		p.pos++
+		return f, nil
+	case c == '0':
+		p.pos++
+		return Const(p.n, false), nil
+	case c == '1':
+		p.pos++
+		return Const(p.n, true), nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentPart(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		i, ok := p.names[name]
+		if !ok {
+			return Func{}, fmt.Errorf("logic: unknown variable %q in expression %q", name, p.src)
+		}
+		return Var(i, p.n), nil
+	case c == 0:
+		return Func{}, fmt.Errorf("logic: unexpected end of expression %q", p.src)
+	default:
+		return Func{}, fmt.Errorf("logic: unexpected character %q at offset %d of %q", c, p.pos, p.src)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '[' || c == ']' || c == '.'
+}
+
+// MustParseExpr is ParseExpr that panics on error; for tests and tables of
+// built-in cells whose expressions are compile-time constants.
+func MustParseExpr(expr string, names []string) Func {
+	f, err := ParseExpr(expr, names)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FormatMinterms lists the on-set minterm indices, for debugging small
+// functions: "{1,2,5}".
+func (f Func) FormatMinterms() string {
+	var parts []string
+	size := uint(1) << f.n
+	for m := uint(0); m < size; m++ {
+		if f.Eval(m) {
+			parts = append(parts, fmt.Sprint(m))
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

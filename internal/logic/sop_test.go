@@ -1,0 +1,181 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFromSOPBasic(t *testing.T) {
+	// f = a·b + ¬c over (a,b,c).
+	f, err := FromSOP(3, []Cube{"11-", "--0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParseExpr("a b + !c", []string{"a", "b", "c"})
+	if !f.Equal(want) {
+		t.Fatalf("FromSOP = %v, want %v", f, want)
+	}
+}
+
+func TestFromSOPEmptyCoverIsZero(t *testing.T) {
+	f, err := FromSOP(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsConst(false) {
+		t.Fatalf("empty cover = %v, want const 0", f)
+	}
+}
+
+func TestFromSOPTautology(t *testing.T) {
+	f, err := FromSOP(2, []Cube{"--"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsConst(true) {
+		t.Fatalf("'--' cover = %v, want const 1", f)
+	}
+}
+
+func TestFromSOPBadCube(t *testing.T) {
+	if _, err := FromSOP(2, []Cube{"1"}); err == nil {
+		t.Error("short cube accepted")
+	}
+	if _, err := FromSOP(2, []Cube{"1x"}); err == nil {
+		t.Error("invalid literal accepted")
+	}
+}
+
+func TestSOPRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		f := randFunc(rng, n)
+		g, err := FromSOP(n, f.SOP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(f) {
+			t.Fatalf("SOP round trip failed for n=%d", n)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	// AND binds tighter than OR.
+	f := MustParseExpr("a + b c", names)
+	want := Var(0, 3).Or(Var(1, 3).And(Var(2, 3)))
+	if !f.Equal(want) {
+		t.Fatal("precedence of + vs juxtaposition wrong")
+	}
+	// Explicit * is the same as juxtaposition.
+	if !f.Equal(MustParseExpr("a + b*c", names)) {
+		t.Fatal("* differs from juxtaposition")
+	}
+	// Parentheses override.
+	g := MustParseExpr("(a + b) c", names)
+	wantG := Var(0, 3).Or(Var(1, 3)).And(Var(2, 3))
+	if !g.Equal(wantG) {
+		t.Fatal("parentheses not honored")
+	}
+}
+
+func TestParseExprNegation(t *testing.T) {
+	names := []string{"a", "b"}
+	f := MustParseExpr("!a b", names)
+	want := Var(0, 2).Not().And(Var(1, 2))
+	if !f.Equal(want) {
+		t.Fatal("!a b wrong")
+	}
+	// Double negation.
+	if !MustParseExpr("!!a", names).Equal(Var(0, 2)) {
+		t.Fatal("!!a != a")
+	}
+	// Negation of a parenthesized expression.
+	g := MustParseExpr("!(a + b)", names)
+	if !g.Equal(Var(0, 2).Or(Var(1, 2)).Not()) {
+		t.Fatal("!(a+b) wrong")
+	}
+}
+
+func TestParseExprConstants(t *testing.T) {
+	names := []string{"a"}
+	if !MustParseExpr("0", names).IsConst(false) {
+		t.Fatal("0 not const false")
+	}
+	if !MustParseExpr("1", names).IsConst(true) {
+		t.Fatal("1 not const true")
+	}
+	if !MustParseExpr("a + 1", names).IsConst(true) {
+		t.Fatal("a + 1 not const true")
+	}
+	if !MustParseExpr("a 0", names).IsConst(false) {
+		t.Fatal("a·0 not const false")
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	names := []string{"a", "b"}
+	cases := []string{
+		"",       // empty
+		"a +",    // dangling operator
+		"(a",     // missing close paren
+		"a )",    // trailing garbage
+		"q",      // unknown variable
+		"a ++ b", // double operator
+		"! ",     // dangling negation
+		"a (b))", // extra close
+		"a & b",  // unsupported operator
+	}
+	for _, src := range cases {
+		if _, err := ParseExpr(src, names); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseExprDuplicateNames(t *testing.T) {
+	if _, err := ParseExpr("a", []string{"a", "a"}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := ParseExpr("a", []string{"a", ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestMustParseExprPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseExpr did not panic on bad input")
+		}
+	}()
+	MustParseExpr("(", []string{"a"})
+}
+
+func TestFormatMinterms(t *testing.T) {
+	f := MustParseExpr("a b", []string{"a", "b"})
+	if got := f.FormatMinterms(); got != "{3}" {
+		t.Errorf("FormatMinterms = %q, want {3}", got)
+	}
+	if got := Const(1, false).FormatMinterms(); got != "{}" {
+		t.Errorf("FormatMinterms of 0 = %q, want {}", got)
+	}
+}
+
+func TestStringRendersArity(t *testing.T) {
+	s := MustParseExpr("a", []string{"a", "b"}).String()
+	if !strings.HasPrefix(s, "2:0x") {
+		t.Errorf("String() = %q, want 2:0x prefix", s)
+	}
+}
+
+func TestParseExprWideIdentifiers(t *testing.T) {
+	names := []string{"in_1", "in_2", "carry[3]"}
+	f := MustParseExpr("in_1 in_2 + carry[3]", names)
+	want := Var(0, 3).And(Var(1, 3)).Or(Var(2, 3))
+	if !f.Equal(want) {
+		t.Fatal("identifier parsing wrong")
+	}
+}

@@ -1,0 +1,368 @@
+package mapper
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func mustParse(t *testing.T, src string) *netlist.Network {
+	t.Helper()
+	nw, err := netlist.ParseBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// evalNetwork computes every net of a (SOP-only) network for one input
+// assignment — the reference model for equivalence checks.
+func evalNetwork(t *testing.T, nw *netlist.Network, in map[string]bool) map[string]bool {
+	t.Helper()
+	val := map[string]bool{}
+	for _, i := range nw.Inputs {
+		val[i] = in[i]
+	}
+	remaining := append([]*netlist.SOPNode(nil), nw.SOPs...)
+	for len(remaining) > 0 {
+		progressed := false
+		var next []*netlist.SOPNode
+		for _, n := range remaining {
+			ready := true
+			for _, i := range n.Inputs {
+				if _, ok := val[i]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, n)
+				continue
+			}
+			f, err := n.Func()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m uint
+			for i, name := range n.Inputs {
+				if val[name] {
+					m |= 1 << i
+				}
+			}
+			val[n.Output] = f.Eval(m)
+			progressed = true
+		}
+		if !progressed {
+			t.Fatal("network evaluation stuck (cycle?)")
+		}
+		remaining = next
+	}
+	return val
+}
+
+// checkEquivalent exhaustively compares the mapped circuit against the
+// source network on all input assignments (inputs must be few).
+func checkEquivalent(t *testing.T, nw *netlist.Network, c *circuit.Circuit) {
+	t.Helper()
+	n := len(nw.Inputs)
+	if n > 12 {
+		t.Fatalf("too many inputs for exhaustive check: %d", n)
+	}
+	for m := uint(0); m < 1<<n; m++ {
+		in := map[string]bool{}
+		for i, name := range nw.Inputs {
+			in[name] = m>>i&1 == 1
+		}
+		want := evalNetwork(t, nw, in)
+		got, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range nw.Outputs {
+			if got[o] != want[o] {
+				t.Fatalf("output %s differs at minterm %d: mapped=%v reference=%v", o, m, got[o], want[o])
+			}
+		}
+	}
+}
+
+func TestMapFullAdder(t *testing.T) {
+	src := `.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+	nw := mustParse(t, src)
+	c, err := Map(nw, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, nw, c)
+}
+
+func TestMapDirectCellMatches(t *testing.T) {
+	cases := []struct {
+		cover    string
+		inputs   string
+		wantCell string
+	}{
+		{"11 0", "a b", "nand2"},           // off-set NAND
+		{"0- 1\n-0 1", "a b", "nand2"},     // on-set of ¬(ab)
+		{"00 1", "a b", "nor2"},            // ¬(a+b)
+		{"000 1", "a b c", "nor3"},         // nor3
+		{"11- 0\n--1 0", "a b c", "aoi21"}, // ¬(ab+c) via off-set
+	}
+	for _, tc := range cases {
+		src := ".model m\n.inputs " + tc.inputs + "\n.outputs z\n.names " + tc.inputs + " z\n" + tc.cover + "\n.end\n"
+		nw := mustParse(t, src)
+		c, err := Map(nw, library.Default())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.wantCell, err)
+		}
+		if len(c.Gates) != 1 {
+			t.Errorf("%s: mapped to %d gates, want 1", tc.wantCell, len(c.Gates))
+			continue
+		}
+		if c.Gates[0].Cell.Name != tc.wantCell {
+			t.Errorf("mapped to %s, want %s", c.Gates[0].Cell.Name, tc.wantCell)
+		}
+		checkEquivalent(t, nw, c)
+	}
+}
+
+func TestMapComplementMatchAddsInverter(t *testing.T) {
+	// z = ab is the complement of nand2: expect nand2 + inv.
+	src := ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 1\n.end\n"
+	nw := mustParse(t, src)
+	c, err := Map(nw, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 2 {
+		t.Fatalf("AND mapped to %d gates, want 2", len(c.Gates))
+	}
+	checkEquivalent(t, nw, c)
+}
+
+func TestMapIdentityAliasesInternalNet(t *testing.T) {
+	// n = a; z = ¬n. The identity node should vanish.
+	src := ".model m\n.inputs a\n.outputs z\n.names a n\n1 1\n.names n z\n0 1\n.end\n"
+	nw := mustParse(t, src)
+	c, err := Map(nw, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Cell.Name != "inv" {
+		t.Fatalf("got %d gates", len(c.Gates))
+	}
+	checkEquivalent(t, nw, c)
+}
+
+func TestMapIdentityPrimaryOutputBuffers(t *testing.T) {
+	// z = a with z a primary output: must materialize a buffer.
+	src := ".model m\n.inputs a\n.outputs z\n.names a z\n1 1\n.end\n"
+	nw := mustParse(t, src)
+	c, err := Map(nw, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 2 {
+		t.Fatalf("PO buffer uses %d gates, want 2 inverters", len(c.Gates))
+	}
+	checkEquivalent(t, nw, c)
+}
+
+func TestMapConstantFolding(t *testing.T) {
+	// k = a·¬a ≡ 0; z = ¬(b + k) should reduce to z = ¬b (one inverter).
+	src := `.model m
+.inputs a b
+.outputs z
+.names a k
+1 0
+0 0
+.names b k z
+00 1
+.end
+`
+	nw := mustParse(t, src)
+	c, err := Map(nw, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Cell.Name != "inv" {
+		t.Fatalf("constant not folded: %d gates, first %s", len(c.Gates), c.Gates[0].Cell.Name)
+	}
+	checkEquivalent(t, nw, c)
+}
+
+func TestMapConstantOutputRejected(t *testing.T) {
+	src := ".model m\n.inputs a\n.outputs z\n.names z\n1\n.end\n"
+	nw := mustParse(t, src)
+	if _, err := Map(nw, library.Default()); err == nil {
+		t.Error("constant primary output accepted")
+	}
+}
+
+func TestMapWideAnd(t *testing.T) {
+	// 6-input AND: needs a NAND tree.
+	src := ".model m\n.inputs a b c d e f\n.outputs z\n.names a b c d e f z\n111111 1\n.end\n"
+	nw := mustParse(t, src)
+	c, err := Map(nw, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, nw, c)
+}
+
+func TestMapXorDecomposition(t *testing.T) {
+	src := ".model m\n.inputs a b\n.outputs z\n.names a b z\n10 1\n01 1\n.end\n"
+	nw := mustParse(t, src)
+	c, err := Map(nw, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, nw, c)
+	// Sanity: xor needs more than one cell.
+	if len(c.Gates) < 3 {
+		t.Errorf("xor mapped to %d gates, expected a small tree", len(c.Gates))
+	}
+}
+
+func TestMapSharedInverters(t *testing.T) {
+	// Two nodes needing ¬a must share one inverter.
+	src := `.model m
+.inputs a b c
+.outputs y z
+.names a b y
+01 1
+.names a c z
+01 1
+.end
+`
+	nw := mustParse(t, src)
+	c, err := Map(nw, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, nw, c)
+	invsOfA := 0
+	for _, g := range c.Gates {
+		if g.Cell.Name == "inv" && g.Pins[0] == "a" {
+			invsOfA++
+		}
+	}
+	if invsOfA > 1 {
+		t.Errorf("%d inverters of net a instantiated, want a single shared one", invsOfA)
+	}
+}
+
+func TestMapPassesThroughGateNodes(t *testing.T) {
+	src := `.model m
+.inputs a b
+.outputs z
+.gate nand2 y=m a=a b=b
+.names m z
+0 1
+.end
+`
+	nw := mustParse(t, src)
+	c, err := Map(nw, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 2 {
+		t.Fatalf("gates = %d, want 2", len(c.Gates))
+	}
+	val, err := c.Eval(map[string]bool{"a": true, "b": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val["z"] != true { // z = ¬¬(ab) = ab = 1
+		t.Error("pass-through gate wired wrong")
+	}
+}
+
+func TestMapUnknownGateCell(t *testing.T) {
+	src := ".model m\n.inputs a\n.outputs z\n.gate xor2 y=z a=a b=a\n.end\n"
+	nw := mustParse(t, src)
+	if _, err := Map(nw, library.Default()); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestMapCycleRejected(t *testing.T) {
+	src := ".model m\n.inputs a\n.outputs x\n.names a y x\n11 1\n.names x z\n1 1\n.names z y\n1 1\n.end\n"
+	nw := mustParse(t, src)
+	if _, err := Map(nw, library.Default()); err == nil {
+		t.Error("cyclic network accepted")
+	}
+}
+
+func TestMinimalCoverCoversExactly(t *testing.T) {
+	fns := []logic.Func{
+		logic.MustParseExpr("a b + !a c", []string{"a", "b", "c"}),
+		logic.MustParseExpr("a !b + !a b", []string{"a", "b"}),
+		logic.MustParseExpr("a b c + a b !c + !a", []string{"a", "b", "c"}),
+	}
+	for _, f := range fns {
+		cover := minimalCover(f)
+		g, err := logic.FromSOP(f.NumVars(), cover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(f) {
+			t.Errorf("cover %v does not reproduce %v", cover, f)
+		}
+	}
+}
+
+func TestProjectFunc(t *testing.T) {
+	// f(a,b,c) = a·c does not depend on b; projection to {0,2} gives xy.
+	f := logic.MustParseExpr("a c", []string{"a", "b", "c"})
+	p := projectFunc(f, []int{0, 2})
+	want := logic.MustParseExpr("x y", []string{"x", "y"})
+	if !p.Equal(want) {
+		t.Errorf("projectFunc = %v, want %v", p, want)
+	}
+}
+
+func BenchmarkMapFullAdder(b *testing.B) {
+	src := `.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+	nw, err := netlist.ParseBLIF(strings.NewReader(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := library.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(nw, lib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package mcnc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/library"
+	"repro/internal/netlist"
+)
+
+func TestTable3Shape(t *testing.T) {
+	if len(Table3) != 39 {
+		t.Fatalf("Table3 has %d rows, want 39 (the paper's benchmark count)", len(Table3))
+	}
+	seen := map[string]bool{}
+	for _, e := range Table3 {
+		if e.Name == "" || e.Gates <= 0 {
+			t.Errorf("bad entry %+v", e)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate benchmark %s", e.Name)
+		}
+		seen[e.Name] = true
+	}
+}
+
+func TestSyntheticGateCountExact(t *testing.T) {
+	lib := library.Default()
+	for _, e := range []Entry{{"tiny", 1}, {"small", 24}, {"mid", 148}} {
+		c, err := Synthetic(e.Name, e.Gates, 42, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Gates) != e.Gates {
+			t.Errorf("%s: %d gates, want %d", e.Name, len(c.Gates), e.Gates)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", e.Name, err)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	lib := library.Default()
+	c1, err := Synthetic("x", 100, 7, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Synthetic("x", 100, 7, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Gates) != len(c2.Gates) {
+		t.Fatal("different gate counts")
+	}
+	for i := range c1.Gates {
+		a, b := c1.Gates[i], c2.Gates[i]
+		if a.Cell.Name != b.Cell.Name || a.Out != b.Out {
+			t.Fatalf("gate %d differs: %s/%s vs %s/%s", i, a.Cell.Name, a.Out, b.Cell.Name, b.Out)
+		}
+		for p := range a.Pins {
+			if a.Pins[p] != b.Pins[p] {
+				t.Fatalf("gate %d pin %d differs", i, p)
+			}
+		}
+	}
+	// Different seeds must differ somewhere.
+	c3, err := Synthetic("x", 100, 8, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range c1.Gates {
+		if c1.Gates[i].Cell.Name != c3.Gates[i].Cell.Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical cell sequences")
+	}
+}
+
+func TestSyntheticRejectsBadCount(t *testing.T) {
+	if _, err := Synthetic("bad", 0, 1, library.Default()); err == nil {
+		t.Error("zero gates accepted")
+	}
+}
+
+func TestSyntheticHasComplexGates(t *testing.T) {
+	// The reordering technique needs series stacks; the mix must include
+	// complex gates on any reasonably sized benchmark.
+	c, err := Synthetic("probe", 200, 3, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	complexCount := 0
+	for _, g := range c.Gates {
+		if strings.HasPrefix(g.Cell.Name, "aoi") || strings.HasPrefix(g.Cell.Name, "oai") {
+			complexCount++
+		}
+	}
+	if complexCount < 20 {
+		t.Errorf("only %d complex gates in 200", complexCount)
+	}
+}
+
+func TestLoadAllTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads all 39 benchmarks")
+	}
+	lib := library.Default()
+	for _, e := range Table3 {
+		c, err := Load(e.Name, lib)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+			continue
+		}
+		if len(c.Gates) != e.Gates {
+			t.Errorf("%s: %d gates, want %d", e.Name, len(c.Gates), e.Gates)
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("nonesuch", library.Default()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestEmbeddedAllParseAndMap(t *testing.T) {
+	lib := library.Default()
+	for _, name := range EmbeddedNames() {
+		src, ok := EmbeddedSource(name)
+		if !ok {
+			t.Errorf("%s: no source", name)
+			continue
+		}
+		nw, err := netlist.ParseBLIF(strings.NewReader(src))
+		if err != nil {
+			t.Errorf("%s: parse: %v", name, err)
+			continue
+		}
+		c, err := Load(name, lib)
+		if err != nil {
+			t.Errorf("%s: load: %v", name, err)
+			continue
+		}
+		if len(c.Gates) == 0 {
+			t.Errorf("%s: empty circuit", name)
+		}
+		if len(c.Outputs) != len(nw.Outputs) {
+			t.Errorf("%s: output count changed in mapping", name)
+		}
+	}
+}
+
+func TestC17Function(t *testing.T) {
+	// Spot-check the classic: with all inputs 1, both outputs are …
+	// o22 = nand(n10,n16); n10 = nand(i1,i3)=0; so o22 = 1.
+	c, err := Load("c17", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]bool{"i1": true, "i2": true, "i3": true, "i6": true, "i7": true}
+	val, err := c.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !val["o22"] {
+		t.Error("c17 o22 wrong for all-ones")
+	}
+}
+
+func TestRCA4Adds(t *testing.T) {
+	c, err := Load("rca4", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, b  uint
+		cin   bool
+		want  uint
+		carry bool
+	}{
+		{0, 0, false, 0, false},
+		{5, 3, false, 8, false},
+		{15, 1, false, 0, true},
+		{9, 6, true, 0, true},
+		{7, 7, false, 14, false},
+	} {
+		in := map[string]bool{"cin": tc.cin}
+		for i := 0; i < 4; i++ {
+			in["a"+string(rune('0'+i))] = tc.a>>i&1 == 1
+			in["b"+string(rune('0'+i))] = tc.b>>i&1 == 1
+		}
+		val, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got uint
+		for i := 0; i < 4; i++ {
+			if val["s"+string(rune('0'+i))] {
+				got |= 1 << i
+			}
+		}
+		if got != tc.want || val["cout"] != tc.carry {
+			t.Errorf("%d+%d+%v = %d carry %v, want %d carry %v",
+				tc.a, tc.b, tc.cin, got, val["cout"], tc.want, tc.carry)
+		}
+	}
+}
+
+func TestParityFunction(t *testing.T) {
+	c, err := Load("par8", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := uint(0); m < 256; m += 17 { // sample
+		in := map[string]bool{}
+		ones := 0
+		for i := 0; i < 8; i++ {
+			v := m>>i&1 == 1
+			in["x"+string(rune('0'+i))] = v
+			if v {
+				ones++
+			}
+		}
+		val, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if val["p"] != (ones%2 == 1) {
+			t.Errorf("parity(%08b) = %v", m, val["p"])
+		}
+	}
+}
+
+func TestRippleCarryAdderBLIFParses(t *testing.T) {
+	for _, bits := range []int{1, 2, 16} {
+		src := RippleCarryAdderBLIF(bits)
+		if _, err := netlist.ParseBLIF(strings.NewReader(src)); err != nil {
+			t.Errorf("rca%d: %v", bits, err)
+		}
+	}
+}
+
+func BenchmarkSynthetic148(b *testing.B) {
+	lib := library.Default()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthetic("alu2", 148, 42, lib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadRCA8(b *testing.B) {
+	lib := library.Default()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load("rca8", lib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMul2Function(t *testing.T) {
+	c, err := Load("mul2", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint(0); a < 4; a++ {
+		for b := uint(0); b < 4; b++ {
+			in := map[string]bool{
+				"a0": a&1 == 1, "a1": a&2 == 2,
+				"b0": b&1 == 1, "b1": b&2 == 2,
+			}
+			val, err := c.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var p uint
+			for i := 0; i < 4; i++ {
+				if val["p"+string(rune('0'+i))] {
+					p |= 1 << i
+				}
+			}
+			if p != a*b {
+				t.Errorf("%d × %d = %d, want %d", a, b, p, a*b)
+			}
+		}
+	}
+}
+
+func TestCsel4Adds(t *testing.T) {
+	c, err := Load("csel4", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, b uint
+		cin  bool
+	}{{0, 0, false}, {5, 10, false}, {15, 15, true}, {7, 9, false}, {12, 3, true}} {
+		in := map[string]bool{"cin": tc.cin}
+		for i := 0; i < 4; i++ {
+			in["a"+string(rune('0'+i))] = tc.a>>i&1 == 1
+			in["b"+string(rune('0'+i))] = tc.b>>i&1 == 1
+		}
+		val, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got uint
+		for i := 0; i < 4; i++ {
+			if val["s"+string(rune('0'+i))] {
+				got |= 1 << i
+			}
+		}
+		want := tc.a + tc.b
+		if tc.cin {
+			want++
+		}
+		if got != want&15 || val["cout"] != (want > 15) {
+			t.Errorf("%d+%d+%v = %d cout %v, want %d cout %v",
+				tc.a, tc.b, tc.cin, got, val["cout"], want&15, want > 15)
+		}
+	}
+}
+
+func TestBCD7SegDigits(t *testing.T) {
+	c, err := Load("bcd7seg", library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment patterns for digits 0-9 (a,b,c,d,e,f,g).
+	want := map[uint]string{
+		0: "1111110", 1: "0110000", 2: "1101101", 3: "1111001",
+		4: "0110011", 5: "1011011", 6: "1011111", 7: "1110000",
+		8: "1111111", 9: "1111011",
+	}
+	segs := []string{"sa", "sb", "sc", "sd", "se", "sf", "sg"}
+	for digit, pattern := range want {
+		in := map[string]bool{
+			"d0": digit&1 == 1, "d1": digit&2 == 2,
+			"d2": digit&4 == 4, "d3": digit&8 == 8,
+		}
+		val, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range segs {
+			if val[s] != (pattern[i] == '1') {
+				t.Errorf("digit %d segment %s = %v, want %c", digit, s, val[s], pattern[i])
+			}
+		}
+	}
+}

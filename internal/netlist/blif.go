@@ -1,0 +1,217 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// ParseBLIF reads one .model from a BLIF stream. Supported constructs:
+// .model/.inputs/.outputs/.names/.gate/.end, '#' comments and '\'
+// line continuations. Latches and multiple models are rejected — the
+// paper (and this reproduction) treats combinational circuits only.
+func ParseBLIF(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	nw := &Network{}
+	var pending *SOPNode
+	sawModel := false
+	sawEnd := false
+	lineNo := 0
+
+	flushPending := func() {
+		if pending != nil {
+			nw.SOPs = append(nw.SOPs, pending)
+			pending = nil
+		}
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		// Line continuations.
+		for strings.HasSuffix(strings.TrimRight(line, " \t"), "\\") && sc.Scan() {
+			lineNo++
+			line = strings.TrimRight(strings.TrimRight(line, " \t"), "\\") + " " + sc.Text()
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if sawEnd {
+			return nil, fmt.Errorf("blif:%d: content after .end (multiple models are not supported)", lineNo)
+		}
+		switch fields[0] {
+		case ".model":
+			if sawModel {
+				return nil, fmt.Errorf("blif:%d: second .model", lineNo)
+			}
+			sawModel = true
+			if len(fields) > 1 {
+				nw.Name = fields[1]
+			}
+		case ".inputs":
+			flushPending()
+			nw.Inputs = append(nw.Inputs, fields[1:]...)
+		case ".outputs":
+			flushPending()
+			nw.Outputs = append(nw.Outputs, fields[1:]...)
+		case ".names":
+			flushPending()
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif:%d: .names needs at least an output", lineNo)
+			}
+			pending = &SOPNode{
+				Inputs: fields[1 : len(fields)-1],
+				Output: fields[len(fields)-1],
+				Value:  '1',
+			}
+		case ".gate":
+			flushPending()
+			g, err := parseGateLine(fields[1:], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			nw.Gates = append(nw.Gates, g)
+		case ".latch":
+			return nil, fmt.Errorf("blif:%d: .latch unsupported (combinational circuits only)", lineNo)
+		case ".end":
+			flushPending()
+			sawEnd = true
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, fmt.Errorf("blif:%d: unsupported construct %s", lineNo, fields[0])
+			}
+			// Cover row of the pending .names node.
+			if pending == nil {
+				return nil, fmt.Errorf("blif:%d: cover row outside .names", lineNo)
+			}
+			if err := addCoverRow(pending, fields, lineNo); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("blif: %w", err)
+	}
+	if !sawModel {
+		return nil, fmt.Errorf("blif: no .model found")
+	}
+	flushPending()
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+func addCoverRow(n *SOPNode, fields []string, lineNo int) error {
+	var inPart, outPart string
+	switch {
+	case len(n.Inputs) == 0 && len(fields) == 1:
+		inPart, outPart = "", fields[0]
+	case len(fields) == 2:
+		inPart, outPart = fields[0], fields[1]
+	default:
+		return fmt.Errorf("blif:%d: malformed cover row %v for node %s", lineNo, fields, n.Output)
+	}
+	if len(inPart) != len(n.Inputs) {
+		return fmt.Errorf("blif:%d: cover row %q has %d literals, node %s has %d inputs",
+			lineNo, inPart, len(inPart), n.Output, len(n.Inputs))
+	}
+	if outPart != "1" && outPart != "0" {
+		return fmt.Errorf("blif:%d: cover output %q must be 0 or 1", lineNo, outPart)
+	}
+	v := outPart[0]
+	if len(n.Cubes) > 0 && n.Value != v {
+		return fmt.Errorf("blif:%d: node %s mixes on-set and off-set rows", lineNo, n.Output)
+	}
+	n.Value = v
+	n.Cubes = append(n.Cubes, logic.Cube(inPart))
+	return nil
+}
+
+func parseGateLine(fields []string, lineNo int) (*GateNode, error) {
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("blif:%d: .gate needs a cell and bindings", lineNo)
+	}
+	g := &GateNode{Cell: fields[0], Pins: map[string]string{}}
+	for _, f := range fields[1:] {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 || eq == len(f)-1 {
+			return nil, fmt.Errorf("blif:%d: malformed binding %q", lineNo, f)
+		}
+		formal, actual := f[:eq], f[eq+1:]
+		if formal == "O" || formal == "out" || formal == "y" || formal == "Y" {
+			if g.Out != "" {
+				return nil, fmt.Errorf("blif:%d: two output bindings on .gate %s", lineNo, g.Cell)
+			}
+			g.Out = actual
+			continue
+		}
+		if _, dup := g.Pins[formal]; dup {
+			return nil, fmt.Errorf("blif:%d: pin %s bound twice", lineNo, formal)
+		}
+		g.Pins[formal] = actual
+	}
+	if g.Out == "" {
+		return nil, fmt.Errorf("blif:%d: .gate %s has no output binding (y=/out=/O=)", lineNo, g.Cell)
+	}
+	return g, nil
+}
+
+// WriteBLIF renders the network back to BLIF. SOP nodes keep their cover;
+// gate nodes use .gate lines with y= output binding.
+func WriteBLIF(w io.Writer, nw *Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", nw.Name)
+	writeWrapped(bw, ".inputs", nw.Inputs)
+	writeWrapped(bw, ".outputs", nw.Outputs)
+	for _, n := range nw.SOPs {
+		fmt.Fprintf(bw, ".names %s %s\n", strings.Join(n.Inputs, " "), n.Output)
+		for _, cube := range n.Cubes {
+			if len(n.Inputs) == 0 {
+				fmt.Fprintf(bw, "%c\n", n.Value)
+				continue
+			}
+			fmt.Fprintf(bw, "%s %c\n", string(cube), n.Value)
+		}
+	}
+	for _, g := range nw.Gates {
+		fmt.Fprintf(bw, ".gate %s y=%s", g.Cell, g.Out)
+		pins := make([]string, 0, len(g.Pins))
+		for p := range g.Pins {
+			pins = append(pins, p)
+		}
+		sort.Strings(pins)
+		for _, p := range pins {
+			fmt.Fprintf(bw, " %s=%s", p, g.Pins[p])
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func writeWrapped(w *bufio.Writer, directive string, names []string) {
+	fmt.Fprint(w, directive)
+	col := len(directive)
+	for _, n := range names {
+		if col+1+len(n) > 78 {
+			fmt.Fprint(w, " \\\n ")
+			col = 1
+		}
+		fmt.Fprint(w, " "+n)
+		col += 1 + len(n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,215 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+const fullAdderBLIF = `# one-bit full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+
+func TestParseBLIFFullAdder(t *testing.T) {
+	nw, err := ParseBLIF(strings.NewReader(fullAdderBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Name != "fa" {
+		t.Errorf("name = %q", nw.Name)
+	}
+	if len(nw.Inputs) != 3 || len(nw.Outputs) != 2 || len(nw.SOPs) != 2 {
+		t.Fatalf("structure: %d in, %d out, %d nodes", len(nw.Inputs), len(nw.Outputs), len(nw.SOPs))
+	}
+	sum, err := nw.SOPs[0].Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := logic.MustParseExpr("a !b !cin + !a b !cin + !a !b cin + a b cin", []string{"a", "b", "cin"})
+	if !sum.Equal(wantSum) {
+		t.Errorf("sum function wrong: %v", sum)
+	}
+	cout, err := nw.SOPs[1].Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCout := logic.MustParseExpr("a b + a cin + b cin", []string{"a", "b", "cin"})
+	if !cout.Equal(wantCout) {
+		t.Errorf("cout function wrong: %v", cout)
+	}
+}
+
+func TestParseBLIFOffsetCover(t *testing.T) {
+	src := `.model offs
+.inputs a b
+.outputs z
+.names a b z
+11 0
+.end
+`
+	nw, err := ParseBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := nw.SOPs[0].Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := logic.MustParseExpr("!(a b)", []string{"a", "b"})
+	if !f.Equal(want) {
+		t.Errorf("off-set cover = %v, want nand", f)
+	}
+}
+
+func TestParseBLIFConstants(t *testing.T) {
+	src := `.model consts
+.inputs a
+.outputs one zero z
+.names one
+1
+.names zero
+.names a z
+1 1
+.end
+`
+	nw, err := ParseBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := nw.SOPs[0].Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.IsConst(true) {
+		t.Error("constant-1 node wrong")
+	}
+	zero, err := nw.SOPs[1].Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zero.IsConst(false) {
+		t.Error("constant-0 node wrong")
+	}
+}
+
+func TestParseBLIFContinuationAndComments(t *testing.T) {
+	src := ".model wide # trailing comment\n" +
+		".inputs a b \\\n c d\n" +
+		".outputs z\n" +
+		".names a b c d z\n" +
+		"1111 1\n" +
+		".end\n"
+	nw, err := ParseBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Inputs) != 4 {
+		t.Fatalf("continued .inputs parsed as %v", nw.Inputs)
+	}
+}
+
+func TestParseBLIFGateLines(t *testing.T) {
+	src := `.model mapped
+.inputs a b
+.outputs z
+.gate nand2 y=z a=a b=b
+.end
+`
+	nw, err := ParseBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Gates) != 1 {
+		t.Fatalf("gates = %d", len(nw.Gates))
+	}
+	g := nw.Gates[0]
+	if g.Cell != "nand2" || g.Out != "z" || g.Pins["a"] != "a" || g.Pins["b"] != "b" {
+		t.Errorf("gate parsed wrong: %+v", g)
+	}
+}
+
+func TestParseBLIFErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no model", ".inputs a\n"},
+		{"latch", ".model m\n.latch a b\n.end\n"},
+		{"two models", ".model m\n.end\n.model n\n.end\n"},
+		{"row outside names", ".model m\n11 1\n.end\n"},
+		{"bad row width", ".model m\n.inputs a b\n.outputs z\n.names a b z\n1 1\n.end\n"},
+		{"bad row output", ".model m\n.inputs a\n.outputs z\n.names a z\n1 x\n.end\n"},
+		{"mixed cover", ".model m\n.inputs a b\n.outputs z\n.names a b z\n11 1\n00 0\n.end\n"},
+		{"gate no output", ".model m\n.inputs a\n.outputs z\n.gate inv a=a\n.end\n"},
+		{"gate bad binding", ".model m\n.inputs a\n.outputs z\n.gate inv y=z a\n.end\n"},
+		{"undriven output", ".model m\n.inputs a\n.outputs z\n.end\n"},
+		{"multiply driven", ".model m\n.inputs a\n.outputs z\n.names a z\n1 1\n.names a z\n0 1\n.end\n"},
+		{"unknown construct", ".model m\n.clock c\n.end\n"},
+		{"undriven node input", ".model m\n.inputs a\n.outputs z\n.names a ghost z\n11 1\n.end\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseBLIF(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestBLIFRoundTrip(t *testing.T) {
+	nw, err := ParseBLIF(strings.NewReader(fullAdderBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteBLIF(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := ParseBLIF(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(nw2.SOPs) != len(nw.SOPs) || len(nw2.Inputs) != len(nw.Inputs) {
+		t.Fatal("round trip changed structure")
+	}
+	for i := range nw.SOPs {
+		f1, _ := nw.SOPs[i].Func()
+		f2, _ := nw2.SOPs[i].Func()
+		if !f1.Equal(f2) {
+			t.Errorf("node %s changed function", nw.SOPs[i].Output)
+		}
+	}
+}
+
+func TestWriteBLIFWrapsLongLines(t *testing.T) {
+	nw := &Network{Name: "wide"}
+	for i := 0; i < 40; i++ {
+		nw.Inputs = append(nw.Inputs, fmt.Sprintf("%s%02d", strings.Repeat("x", 6), i))
+	}
+	nw.Outputs = []string{"z"}
+	nw.SOPs = []*SOPNode{{Output: "z", Inputs: nil, Cubes: []logic.Cube{""}, Value: '1'}}
+	var buf strings.Builder
+	if err := WriteBLIF(&buf, nw); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 80 {
+			t.Fatalf("line longer than 80 columns: %q", line)
+		}
+	}
+	if _, err := ParseBLIF(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("wrapped output does not reparse: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package netlist_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/library"
+	"repro/internal/netlist"
+)
+
+// TestParseBLIFNeverPanics throws random byte soup and random mutations
+// of valid BLIF at the parser: it must return an error or a network,
+// never panic.
+func TestParseBLIFNeverPanics(t *testing.T) {
+	valid := `.model fuzz
+.inputs a b c
+.outputs z
+.names a b t
+11 1
+.names t c z
+00 1
+.end
+`
+	tokens := []string{
+		".model", ".inputs", ".outputs", ".names", ".gate", ".end", ".latch",
+		"a", "b", "z", "11 1", "0- 1", "\\", "#x", "=", "y=z", "1", "-",
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	err := quick.Check(func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var src string
+		if rng.Intn(2) == 0 {
+			// Random token soup.
+			var b strings.Builder
+			for i := 0; i < rng.Intn(40); i++ {
+				b.WriteString(tokens[rng.Intn(len(tokens))])
+				if rng.Intn(3) == 0 {
+					b.WriteByte('\n')
+				} else {
+					b.WriteByte(' ')
+				}
+			}
+			src = b.String()
+		} else {
+			// Mutate the valid netlist: delete/duplicate random lines.
+			lines := strings.Split(valid, "\n")
+			var out []string
+			for _, l := range lines {
+				switch rng.Intn(5) {
+				case 0: // drop
+				case 1:
+					out = append(out, l, l)
+				default:
+					out = append(out, l)
+				}
+			}
+			src = strings.Join(out, "\n")
+		}
+		_, _ = netlist.ParseBLIF(strings.NewReader(src))
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadGNLNeverPanics mirrors the BLIF fuzz for the native format.
+func TestReadGNLNeverPanics(t *testing.T) {
+	valid := `circuit fuzz
+inputs a b
+outputs z
+gate u1 nand2 y=z a=a b=b pd=s(a,b) pu=p(a,b)
+end
+`
+	lib := library.Default()
+	cfg := &quick.Config{MaxCount: 300}
+	err := quick.Check(func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		lines := strings.Split(valid, "\n")
+		var out []string
+		for _, l := range lines {
+			switch rng.Intn(6) {
+			case 0:
+			case 1:
+				out = append(out, l, l)
+			case 2:
+				// Corrupt a character.
+				if len(l) > 0 {
+					i := rng.Intn(len(l))
+					out = append(out, l[:i]+"~"+l[i:])
+				}
+			default:
+				out = append(out, l)
+			}
+		}
+		_, _ = netlist.ReadGNL(strings.NewReader(strings.Join(out, "\n")), lib)
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/library"
+)
+
+const smallGNL = `# a two-gate circuit
+circuit demo
+inputs a b c
+outputs z
+gate u1 nand2 y=m a=a b=b
+gate u2 oai21 y=z a1=m a2=c b=a pd=s(b,p(a1,a2)) pu=p(s(a1,a2),b)
+end
+`
+
+func TestReadGNL(t *testing.T) {
+	c, err := ReadGNL(strings.NewReader(smallGNL), library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" || len(c.Gates) != 2 {
+		t.Fatalf("parsed %s with %d gates", c.Name, len(c.Gates))
+	}
+	u2 := c.Gates[1]
+	if u2.Cell.Name != "oai21" {
+		t.Fatalf("u2 cell = %s", u2.Cell.Name)
+	}
+	// The explicit pd= puts b at the output side: not the proto config.
+	proto := library.Default().MustCell("oai21").Proto
+	if u2.Cell.ConfigKey() == proto.ConfigKey() {
+		t.Error("explicit configuration ignored")
+	}
+	if u2.Pins[0] != "m" || u2.Pins[1] != "c" || u2.Pins[2] != "a" {
+		t.Errorf("pin binding = %v", u2.Pins)
+	}
+}
+
+func TestReadGNLDefaultsToProto(t *testing.T) {
+	c, err := ReadGNL(strings.NewReader(smallGNL), library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := library.Default().MustCell("nand2").Proto
+	if c.Gates[0].Cell.ConfigKey() != proto.ConfigKey() {
+		t.Error("gate without pd=/pu= did not get the proto configuration")
+	}
+}
+
+func TestGNLRoundTrip(t *testing.T) {
+	c, err := ReadGNL(strings.NewReader(smallGNL), library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteGNL(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadGNL(strings.NewReader(buf.String()), library.Default())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(c2.Gates) != len(c.Gates) {
+		t.Fatal("gate count changed")
+	}
+	// Configurations survive the round trip exactly.
+	byName := map[string]*circuit.Instance{}
+	for _, g := range c2.Gates {
+		byName[g.Name] = g
+	}
+	for _, g := range c.Gates {
+		g2 := byName[g.Name]
+		if g2 == nil {
+			t.Fatalf("instance %s lost", g.Name)
+		}
+		if g2.Cell.ConfigKey() != g.Cell.ConfigKey() {
+			t.Errorf("instance %s: config %s became %s", g.Name, g.Cell.ConfigKey(), g2.Cell.ConfigKey())
+		}
+	}
+}
+
+func TestReadGNLErrors(t *testing.T) {
+	lib := library.Default()
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no circuit", "inputs a\nend\n"},
+		{"no end", "circuit c\ninputs a\n"},
+		{"unknown cell", "circuit c\ninputs a\noutputs z\ngate u1 frob y=z a=a\nend\n"},
+		{"missing pin", "circuit c\ninputs a\noutputs z\ngate u1 nand2 y=z a=a\nend\n"},
+		{"extra pin", "circuit c\ninputs a\noutputs z\ngate u1 inv y=z a=a b=a\nend\n"},
+		{"no output", "circuit c\ninputs a\noutputs z\ngate u1 inv a=a\nend\n"},
+		{"bad pd", "circuit c\ninputs a b\noutputs z\ngate u1 nand2 y=z a=a b=b pd=s(a\nend\n"},
+		{"wrong shape pd", "circuit c\ninputs a b\noutputs z\ngate u1 nand2 y=z a=a b=b pd=p(a,b)\nend\n"},
+		{"unknown directive", "circuit c\nfrobnicate\nend\n"},
+		{"undriven pin", "circuit c\ninputs a\noutputs z\ngate u1 nand2 y=z a=a b=ghost\nend\n"},
+		{"double drive", "circuit c\ninputs a\noutputs z\ngate u1 inv y=z a=a\ngate u2 inv y=z a=a\nend\n"},
+		{"content after end", "circuit c\ninputs a\noutputs a\nend\ninputs b\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadGNL(strings.NewReader(tc.src), lib); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestReadGNLTrivialOutputFromInput(t *testing.T) {
+	// An output directly driven by an input is legal.
+	src := "circuit c\ninputs a\noutputs a\nend\n"
+	c, err := ReadGNL(strings.NewReader(src), library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 0 {
+		t.Error("unexpected gates")
+	}
+}

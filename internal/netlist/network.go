@@ -1,0 +1,97 @@
+// Package netlist reads and writes gate-level circuit descriptions. Two
+// formats are supported, both parsed by hand (no parser libraries):
+//
+//   - BLIF (Berkeley Logic Interchange Format), the format the MCNC
+//     benchmarks ship in: .names nodes carry sum-of-products covers,
+//     .gate nodes reference mapped library cells.
+//   - GNL, a small native format that additionally records the chosen
+//     transistor ordering (pd=/pu= attributes) so optimized circuits
+//     round-trip exactly.
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// SOPNode is one .names node: a single-output sum-of-products cover.
+type SOPNode struct {
+	Output string
+	Inputs []string
+	Cubes  []logic.Cube // input parts only
+	Value  byte         // '1': on-set cover, '0': off-set cover
+}
+
+// Func returns the node's boolean function over its input order.
+func (n *SOPNode) Func() (logic.Func, error) {
+	f, err := logic.FromSOP(len(n.Inputs), n.Cubes)
+	if err != nil {
+		return logic.Func{}, fmt.Errorf("netlist: node %s: %w", n.Output, err)
+	}
+	if n.Value == '0' {
+		f = f.Not()
+	}
+	return f, nil
+}
+
+// GateNode is one .gate node: an instance of a named library cell.
+type GateNode struct {
+	Cell string            // library cell name
+	Pins map[string]string // formal pin → actual net
+	Out  string            // net bound to the output pin
+}
+
+// Network is a technology-independent (or mixed) logic network as read
+// from BLIF: SOP nodes and/or mapped gate nodes.
+type Network struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	SOPs    []*SOPNode
+	Gates   []*GateNode
+}
+
+// Validate checks net driving rules: every net driven at most once, every
+// referenced net driven, outputs present.
+func (nw *Network) Validate() error {
+	driven := map[string]bool{}
+	for _, in := range nw.Inputs {
+		if driven[in] {
+			return fmt.Errorf("netlist: %s: duplicate input %q", nw.Name, in)
+		}
+		driven[in] = true
+	}
+	for _, n := range nw.SOPs {
+		if driven[n.Output] {
+			return fmt.Errorf("netlist: %s: net %q multiply driven", nw.Name, n.Output)
+		}
+		driven[n.Output] = true
+	}
+	for _, g := range nw.Gates {
+		if driven[g.Out] {
+			return fmt.Errorf("netlist: %s: net %q multiply driven", nw.Name, g.Out)
+		}
+		driven[g.Out] = true
+	}
+	for _, n := range nw.SOPs {
+		for _, in := range n.Inputs {
+			if !driven[in] {
+				return fmt.Errorf("netlist: %s: node %s reads undriven net %q", nw.Name, n.Output, in)
+			}
+		}
+	}
+	for _, g := range nw.Gates {
+		for pin, net := range g.Pins {
+			if !driven[net] {
+				return fmt.Errorf("netlist: %s: gate pin %s reads undriven net %q", nw.Name, pin, net)
+			}
+		}
+	}
+	for _, o := range nw.Outputs {
+		if !driven[o] {
+			return fmt.Errorf("netlist: %s: output %q undriven", nw.Name, o)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package reorder implements the paper's power-optimization algorithm
+// (Figure 3): a single depth-first traversal of the circuit that, for
+// every gate, exhaustively explores its transistor reorderings with the
+// extended power model and keeps the best (or, for the Table 3
+// measurement, the worst) configuration. The monotonic property of
+// Section 4.2 — every configuration of a gate propagates identical output
+// statistics — makes the greedy single pass optimal under the model; a
+// second pass is a no-op (asserted by tests and an ablation bench).
+package reorder
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/stoch"
+)
+
+// Mode selects the search space per gate.
+type Mode int
+
+// Optimization modes.
+const (
+	// Full explores every transistor reordering (the paper's technique).
+	Full Mode = iota
+	// InputOnly explores only configurations reachable by rewiring
+	// symmetric inputs within the gate's current layout instance — the
+	// input-reordering subset technique of Section 2.
+	InputOnly
+	// DelayRule ignores power and picks the configuration minimizing the
+	// gate's output arrival time (the classic speed rule the paper
+	// contrasts with; used as the delay baseline).
+	DelayRule
+	// DelayNeutral implements the paper's stated future-work direction
+	// ("it is possible to achieve power reductions without increasing the
+	// delay of the circuit"): per gate, minimize model power over only
+	// those configurations whose output arrival does not exceed the
+	// original configuration's — so the optimized circuit is never slower
+	// than the input mapping.
+	DelayNeutral
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Full:
+		return "full"
+	case InputOnly:
+		return "input-only"
+	case DelayRule:
+		return "delay-rule"
+	case DelayNeutral:
+		return "delay-neutral"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Objective selects minimization or maximization of the model power.
+type Objective int
+
+// Objectives. Worst exists to measure the best-versus-worst spread
+// reported in Table 3.
+const (
+	Minimize Objective = iota
+	Maximize
+)
+
+// Options configures an optimization run.
+type Options struct {
+	Mode      Mode
+	Objective Objective
+	Params    core.Params  // power-model constants
+	Delay     delay.Params // used by DelayRule mode
+}
+
+// DefaultOptions is the paper's configuration: full reordering, minimum
+// power, default constants.
+func DefaultOptions() Options {
+	return Options{Mode: Full, Objective: Minimize, Params: core.DefaultParams(), Delay: delay.DefaultParams()}
+}
+
+// Report summarizes an optimization.
+type Report struct {
+	Circuit      *circuit.Circuit // the reordered circuit (input untouched)
+	GatesChanged int              // instances whose configuration changed
+	PowerBefore  float64          // model watts before
+	PowerAfter   float64          // model watts after
+}
+
+// Reduction returns the relative model-power reduction.
+func (r *Report) Reduction() float64 {
+	if r.PowerBefore == 0 {
+		return 0
+	}
+	return (r.PowerBefore - r.PowerAfter) / r.PowerBefore
+}
+
+// Optimize runs the Figure 3 algorithm on a copy of c and returns the
+// report. pi maps every primary input to its statistics; they drive both
+// the per-gate exploration and the before/after estimates.
+func Optimize(c *circuit.Circuit, pi map[string]stoch.Signal, opt Options) (*Report, error) {
+	if err := opt.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Mode == DelayRule || opt.Mode == DelayNeutral {
+		if err := opt.Delay.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	before, err := core.AnalyzeCircuit(c, pi, opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	out := c.Clone()
+	fanout := out.Fanout()
+	order, err := out.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Circuit: out, PowerBefore: before.Power}
+
+	stats := map[string]stoch.Signal{}
+	arr := map[string]float64{}
+	for _, in := range out.Inputs {
+		s, ok := pi[in]
+		if !ok {
+			return nil, fmt.Errorf("reorder: missing statistics for input %q", in)
+		}
+		stats[in] = s
+		arr[in] = 0
+	}
+	for _, g := range order {
+		in := make([]stoch.Signal, len(g.Pins))
+		arrIn := make([]float64, len(g.Pins))
+		for i, p := range g.Pins {
+			s, ok := stats[p]
+			if !ok {
+				return nil, fmt.Errorf("reorder: instance %s reads unannotated net %q", g.Name, p)
+			}
+			in[i] = s
+			arrIn[i] = arr[p]
+		}
+		load := opt.Params.OutputLoad(fanout[g.Out])
+		chosen, err := chooseConfig(g.Cell, in, arrIn, load, opt)
+		if err != nil {
+			return nil, fmt.Errorf("reorder: instance %s: %w", g.Name, err)
+		}
+		if chosen.ConfigKey() != g.Cell.ConfigKey() {
+			report.GatesChanged++
+			g.Cell = chosen
+		}
+		outStats, err := core.OutputStats(g.Cell, in)
+		if err != nil {
+			return nil, err
+		}
+		stats[g.Out] = outStats
+		if opt.Mode == DelayRule || opt.Mode == DelayNeutral {
+			a, err := gateArrival(g.Cell, arrIn, load, opt.Delay)
+			if err != nil {
+				return nil, err
+			}
+			arr[g.Out] = a
+		}
+	}
+	after, err := core.AnalyzeCircuit(out, pi, opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	report.PowerAfter = after.Power
+	return report, nil
+}
+
+// gateArrival returns the output arrival time of one gate configuration
+// given its pin arrivals.
+func gateArrival(g *gate.Gate, arrIn []float64, load float64, prm delay.Params) (float64, error) {
+	d, err := delay.PinDelays(g, load, prm)
+	if err != nil {
+		return 0, err
+	}
+	worst := math.Inf(-1)
+	for i := range arrIn {
+		if arrIn[i]+d[i] > worst {
+			worst = arrIn[i] + d[i]
+		}
+	}
+	return worst, nil
+}
+
+// chooseConfig evaluates the mode's candidate set for one gate.
+func chooseConfig(g *gate.Gate, in []stoch.Signal, arrIn []float64, load float64, opt Options) (*gate.Gate, error) {
+	switch opt.Mode {
+	case DelayRule:
+		cfg, _, err := delay.DelayOptimal(g, arrIn, load, opt.Delay)
+		return cfg, err
+	case Full, InputOnly, DelayNeutral:
+		candidates := g.AllConfigs()
+		switch opt.Mode {
+		case InputOnly:
+			candidates = currentInstance(g)
+		case DelayNeutral:
+			// Keep only configurations at least as fast as the current
+			// one at this gate's position in the circuit.
+			limit, err := gateArrival(g, arrIn, load, opt.Delay)
+			if err != nil {
+				return nil, err
+			}
+			var kept []*gate.Gate
+			for _, cfg := range candidates {
+				a, err := gateArrival(cfg, arrIn, load, opt.Delay)
+				if err != nil {
+					return nil, err
+				}
+				if a <= limit*(1+1e-12) {
+					kept = append(kept, cfg)
+				}
+			}
+			candidates = kept
+		}
+		var chosen *gate.Gate
+		var chosenPower float64
+		for _, cfg := range candidates {
+			a, err := core.AnalyzeGate(cfg, in, load, opt.Params)
+			if err != nil {
+				return nil, err
+			}
+			better := a.Power < chosenPower
+			if opt.Objective == Maximize {
+				better = a.Power > chosenPower
+			}
+			if chosen == nil || better {
+				chosen = cfg
+				chosenPower = a.Power
+			}
+		}
+		if chosen == nil {
+			return nil, fmt.Errorf("gate %s has no candidate configurations", g.Name)
+		}
+		return chosen, nil
+	default:
+		return nil, fmt.Errorf("unknown mode %v", opt.Mode)
+	}
+}
+
+// currentInstance returns the orbit of configurations containing g's
+// current configuration — what rewiring symmetric inputs can reach without
+// changing the physical layout.
+func currentInstance(g *gate.Gate) []*gate.Gate {
+	key := g.ConfigKey()
+	for _, inst := range g.Instances() {
+		for _, cfg := range inst.Configs {
+			if cfg.ConfigKey() == key {
+				return inst.Configs
+			}
+		}
+	}
+	// The current configuration is always in some orbit; reaching here
+	// would mean Instances() lost it.
+	panic(fmt.Sprintf("reorder: configuration %s missing from its own instance partition", key))
+}
+
+// BestAndWorst runs the optimizer in both directions — the pair of
+// netlists the paper feeds to the switch-level simulator for Table 3.
+func BestAndWorst(c *circuit.Circuit, pi map[string]stoch.Signal, opt Options) (best, worst *Report, err error) {
+	optBest := opt
+	optBest.Objective = Minimize
+	best, err = Optimize(c, pi, optBest)
+	if err != nil {
+		return nil, nil, err
+	}
+	optWorst := opt
+	optWorst.Objective = Maximize
+	worst, err = Optimize(c, pi, optWorst)
+	if err != nil {
+		return nil, nil, err
+	}
+	return best, worst, nil
+}

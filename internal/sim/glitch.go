@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/stoch"
+)
+
+// GlitchReport quantifies the useless signal transitions of a run — the
+// transitions a zero-delay (purely functional) circuit would not make.
+// The paper's introduction motivates activity-aware optimization with
+// exactly this phenomenon: "the power consumption of useless signal
+// transitions … accounts for a large fraction of the overall dynamic
+// power consumption".
+type GlitchReport struct {
+	Functional     map[string]int // per net: transitions a settled circuit needs
+	Simulated      map[string]int // per net: transitions observed with real delays
+	TotalGateTrans int            // simulated transitions on gate-output nets
+	Useless        int            // simulated minus functional, gate outputs only
+	Fraction       float64        // Useless / TotalGateTrans
+}
+
+// Glitches simulates the circuit and compares against an event-by-event
+// functional evaluation under the same stimulus.
+func Glitches(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, prm Params) (*GlitchReport, error) {
+	res, err := Run(c, waves, horizon, prm)
+	if err != nil {
+		return nil, err
+	}
+	functional, err := FunctionalTransitions(c, waves, horizon)
+	if err != nil {
+		return nil, err
+	}
+	rep := &GlitchReport{
+		Functional: functional,
+		Simulated:  res.NetTransitions,
+	}
+	driver := c.Driver()
+	for net, simCount := range res.NetTransitions {
+		if driver[net] == nil {
+			continue // primary input
+		}
+		rep.TotalGateTrans += simCount
+		if extra := simCount - functional[net]; extra > 0 {
+			rep.Useless += extra
+		}
+	}
+	if rep.TotalGateTrans > 0 {
+		rep.Fraction = float64(rep.Useless) / float64(rep.TotalGateTrans)
+	}
+	return rep, nil
+}
+
+// FunctionalTransitions counts, per net, the transitions an ideal
+// zero-delay circuit makes under the stimulus: after every input event
+// the whole circuit settles instantly, so reconvergent skew cannot create
+// pulses. This is the baseline that separates useful from useless
+// activity.
+func FunctionalTransitions(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64) (map[string]int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	funcs := make(map[*circuit.Instance]func(uint) bool, len(order))
+	for _, g := range order {
+		f, err := g.Cell.Func()
+		if err != nil {
+			return nil, err
+		}
+		funcs[g] = f.Eval
+	}
+	values := map[string]bool{}
+	var inputs []string
+	for _, in := range c.Inputs {
+		w, ok := waves[in]
+		if !ok {
+			return nil, fmt.Errorf("sim: no waveform for input %q", in)
+		}
+		values[in] = w.Initial
+		inputs = append(inputs, in)
+	}
+	counts := map[string]int{}
+	settle := func(count bool) {
+		for _, g := range order {
+			var m uint
+			for i, p := range g.Pins {
+				if values[p] {
+					m |= 1 << i
+				}
+			}
+			v := funcs[g](m)
+			if v != values[g.Out] {
+				values[g.Out] = v
+				if count {
+					counts[g.Out]++
+				}
+			}
+		}
+	}
+	settle(false) // establish t=0 without counting
+	ws := make([]*stoch.Waveform, len(inputs))
+	for i, in := range inputs {
+		ws[i] = waves[in]
+	}
+	// Events at the same instant (latched inputs switching on a clock
+	// edge) are applied together before the circuit settles once: a
+	// zero-delay circuit sees simultaneous changes atomically.
+	merged := stoch.MergeWaveforms(ws)
+	for i := 0; i < len(merged); {
+		t := merged[i].Time
+		if t > horizon {
+			break
+		}
+		changed := false
+		for ; i < len(merged) && merged[i].Time == t; i++ {
+			net := inputs[merged[i].Input]
+			if values[net] != merged[i].Value {
+				values[net] = merged[i].Value
+				counts[net]++
+				changed = true
+			}
+		}
+		if changed {
+			settle(true)
+		}
+	}
+	return counts, nil
+}

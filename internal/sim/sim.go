@@ -1,0 +1,419 @@
+// Package sim is the switch-level power simulator this reproduction uses
+// in place of SLS [11]: it drives a mapped circuit with concrete input
+// waveforms, resolves every gate at the transistor level (conducting-path
+// connectivity with charge retention on undriven internal nodes), and
+// meters energy as ½·C·Vdd² per node transition — internal nodes
+// included, exactly the quantity the paper's model predicts. Column S of
+// Table 3 is measured with this simulator.
+//
+// Gates have either a fixed ("unit") or an Elmore-model output delay, so
+// reconvergent paths generate the useless transitions (glitches) whose
+// power the paper's introduction highlights; a zero-delay mode suppresses
+// them for comparison.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/gate"
+	"repro/internal/stoch"
+)
+
+// DelayMode selects how gate output delays are modeled.
+type DelayMode int
+
+// Delay modes.
+const (
+	UnitDelay   DelayMode = iota // every gate delays its output by Unit
+	ElmoreDelay                  // per-pin Elmore stack delay (delay pkg)
+	ZeroDelay                    // outputs update instantaneously
+)
+
+// Params configures a simulation.
+type Params struct {
+	Cap   core.Params  // capacitance and supply constants
+	Mode  DelayMode    // gate delay model
+	Unit  float64      // gate delay for UnitDelay mode, seconds
+	Delay delay.Params // electrical constants for ElmoreDelay mode
+}
+
+// DefaultParams uses unit delays of 1 ns and the shared electrical
+// constants.
+func DefaultParams() Params {
+	return Params{
+		Cap:   core.DefaultParams(),
+		Mode:  UnitDelay,
+		Unit:  1e-9,
+		Delay: delay.DefaultParams(),
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := p.Cap.Validate(); err != nil {
+		return err
+	}
+	switch p.Mode {
+	case UnitDelay:
+		if p.Unit <= 0 {
+			return fmt.Errorf("sim: unit delay %v must be positive", p.Unit)
+		}
+	case ElmoreDelay:
+		if err := p.Delay.Validate(); err != nil {
+			return err
+		}
+	case ZeroDelay:
+	default:
+		return fmt.Errorf("sim: unknown delay mode %d", int(p.Mode))
+	}
+	return nil
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Horizon        float64            // simulated time, seconds
+	Energy         float64            // joules
+	Power          float64            // watts (Energy / Horizon)
+	PerGate        map[string]float64 // instance → joules
+	NetTransitions map[string]int     // net → observed transitions
+	InternalFlips  int                // internal-node transitions
+	OutputFlips    int                // gate-output net transitions
+	Events         int                // processed simulation events
+}
+
+// Density returns the measured transition density of a net.
+func (r *Result) Density(net string) float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return float64(r.NetTransitions[net]) / r.Horizon
+}
+
+// Run simulates the circuit over [0, horizon] with the given input
+// waveforms (one per primary input).
+func Run(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, prm Params) (*Result, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon %v must be positive", horizon)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSimulator(c, prm)
+	if err != nil {
+		return nil, err
+	}
+	// Initial input values.
+	init := map[string]bool{}
+	for _, in := range c.Inputs {
+		w, ok := waves[in]
+		if !ok {
+			return nil, fmt.Errorf("sim: no waveform for input %q", in)
+		}
+		init[in] = w.Initial
+	}
+	if err := s.settle(init); err != nil {
+		return nil, err
+	}
+	// Queue the input events.
+	for _, in := range c.Inputs {
+		for _, e := range waves[in].Events {
+			if e.Time > horizon {
+				break
+			}
+			s.push(&event{time: e.Time, net: in, val: e.Value, input: true})
+		}
+	}
+	s.run(horizon)
+	return s.result(horizon), nil
+}
+
+type event struct {
+	time  float64
+	seq   int64
+	input bool // primary-input change
+	net   string
+	val   bool
+	inst  *instState // gate output update (when input is false)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+type instState struct {
+	inst      *circuit.Instance
+	graph     *gate.Graph
+	nodes     []bool    // current node states (charge retention)
+	caps      []float64 // per node, internal nodes only meaningful
+	outCap    float64
+	pinDelays []float64 // per pin (Elmore mode)
+	delay     float64   // unit-mode delay
+	energy    float64
+}
+
+type simulator struct {
+	c       *circuit.Circuit
+	prm     Params
+	insts   []*instState
+	readers map[string][]*instState // net → gates reading it
+	values  map[string]bool         // current net values
+	queue   eventQueue
+	seq     int64
+	halfCV2 float64
+
+	internalFlips int
+	outputFlips   int
+	events        int
+	netTrans      map[string]int
+
+	// observe, when set, is called for every net transition (used by
+	// RunTrace to build waveform dumps).
+	observe func(time float64, net string, val bool)
+}
+
+func newSimulator(c *circuit.Circuit, prm Params) (*simulator, error) {
+	s := &simulator{
+		c:        c,
+		prm:      prm,
+		readers:  map[string][]*instState{},
+		values:   map[string]bool{},
+		netTrans: map[string]int{},
+		halfCV2:  0.5 * prm.Cap.Vdd * prm.Cap.Vdd,
+	}
+	fanout := c.Fanout()
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range order {
+		gr, err := g.Cell.Graph()
+		if err != nil {
+			return nil, fmt.Errorf("sim: instance %s: %w", g.Name, err)
+		}
+		st := &instState{
+			inst:   g,
+			graph:  gr,
+			nodes:  make([]bool, gr.NumNodes),
+			caps:   make([]float64, gr.NumNodes),
+			outCap: prm.Cap.Cj*float64(gr.Degree(gate.Y)) + prm.Cap.OutputLoad(fanout[g.Out]),
+		}
+		for _, nk := range gr.InternalNodes() {
+			st.caps[nk] = prm.Cap.Cj * float64(gr.Degree(nk))
+		}
+		switch prm.Mode {
+		case UnitDelay:
+			st.delay = prm.Unit
+		case ElmoreDelay:
+			d, err := delay.PinDelays(g.Cell, prm.Cap.OutputLoad(fanout[g.Out]), prm.Delay)
+			if err != nil {
+				return nil, fmt.Errorf("sim: instance %s: %w", g.Name, err)
+			}
+			st.pinDelays = d
+		}
+		s.insts = append(s.insts, st)
+		for _, p := range g.Pins {
+			s.readers[p] = append(s.readers[p], st)
+		}
+	}
+	return s, nil
+}
+
+// settle establishes the t=0 steady state without accounting energy.
+func (s *simulator) settle(init map[string]bool) error {
+	for net, v := range init {
+		s.values[net] = v
+	}
+	for _, st := range s.insts { // insts are in topological order
+		m := s.minterm(st)
+		st.nodes = st.graph.NodeStateAt(m, nil)
+		s.values[st.inst.Out] = st.nodes[gate.Y]
+	}
+	return nil
+}
+
+func (s *simulator) minterm(st *instState) uint {
+	var m uint
+	for i, p := range st.inst.Pins {
+		if s.values[p] {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+func (s *simulator) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+func (s *simulator) run(horizon float64) {
+	heap.Init(&s.queue)
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.time > horizon {
+			break
+		}
+		s.events++
+		if e.input {
+			if s.values[e.net] == e.val {
+				continue
+			}
+			s.values[e.net] = e.val
+			s.netTrans[e.net]++
+			if s.observe != nil {
+				s.observe(e.time, e.net, e.val)
+			}
+			for _, st := range s.readers[e.net] {
+				s.reevaluate(st, e.time)
+			}
+			continue
+		}
+		// Gate output update: recompute from current inputs (transport
+		// delay with sampling — pulses shorter than the gate delay that
+		// have already collapsed are filtered, as in an inertial model).
+		st := e.inst
+		y := st.nodes[gate.Y]
+		if s.values[st.inst.Out] == y {
+			continue
+		}
+		s.values[st.inst.Out] = y
+		s.netTrans[st.inst.Out]++
+		s.outputFlips++
+		if s.observe != nil {
+			s.observe(e.time, st.inst.Out, y)
+		}
+		st.energy += s.halfCV2 * st.outCap
+		for _, rd := range s.readers[st.inst.Out] {
+			s.reevaluate(rd, e.time)
+		}
+	}
+}
+
+// reevaluate recomputes a gate's internal nodes after one of its inputs
+// changed, meters internal transitions immediately, and schedules the
+// output net update after the gate delay.
+func (s *simulator) reevaluate(st *instState, now float64) {
+	m := s.minterm(st)
+	next := st.graph.NodeStateAt(m, st.nodes)
+	for _, nk := range st.graph.InternalNodes() {
+		if next[nk] != st.nodes[nk] {
+			s.internalFlips++
+			st.energy += s.halfCV2 * st.caps[nk]
+		}
+	}
+	prevY := st.nodes[gate.Y]
+	st.nodes = next
+	if next[gate.Y] == prevY && next[gate.Y] == s.values[st.inst.Out] {
+		return
+	}
+	d := st.delay
+	if s.prm.Mode == ElmoreDelay {
+		// The triggering pin is unknown here (several may have changed in
+		// one instant); use the slowest pin as the conservative delay.
+		d = 0
+		for _, pd := range st.pinDelays {
+			if pd > d {
+				d = pd
+			}
+		}
+	}
+	s.push(&event{time: now + d, inst: st})
+}
+
+func (s *simulator) result(horizon float64) *Result {
+	r := &Result{
+		Horizon:        horizon,
+		PerGate:        map[string]float64{},
+		NetTransitions: s.netTrans,
+		InternalFlips:  s.internalFlips,
+		OutputFlips:    s.outputFlips,
+		Events:         s.events,
+	}
+	for _, st := range s.insts {
+		r.PerGate[st.inst.Name] = st.energy
+		r.Energy += st.energy
+	}
+	r.Power = r.Energy / horizon
+	return r
+}
+
+// GenerateWaveforms draws per-input waveforms realizing the given
+// statistics with exponentially distributed inter-transition times
+// (scenario A of the paper). The rng drives all inputs, so a fixed seed
+// reproduces the exact stimulus — pass the same waveforms to the best and
+// worst circuits for a fair comparison.
+func GenerateWaveforms(inputs []string, stats map[string]stoch.Signal, horizon float64, rng *rand.Rand) (map[string]*stoch.Waveform, error) {
+	waves := make(map[string]*stoch.Waveform, len(inputs))
+	for _, in := range inputs {
+		sig, ok := stats[in]
+		if !ok {
+			return nil, fmt.Errorf("sim: no statistics for input %q", in)
+		}
+		w, err := sig.Exponential(horizon, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: input %q: %w", in, err)
+		}
+		waves[in] = w
+	}
+	return waves, nil
+}
+
+// GenerateClockedWaveforms draws per-input waveforms sampled at a fixed
+// clock (scenario B: latched inputs, statistics in transitions/cycle).
+func GenerateClockedWaveforms(inputs []string, stats map[string]stoch.Signal, cycles int, period float64, rng *rand.Rand) (map[string]*stoch.Waveform, error) {
+	waves := make(map[string]*stoch.Waveform, len(inputs))
+	for _, in := range inputs {
+		sig, ok := stats[in]
+		if !ok {
+			return nil, fmt.Errorf("sim: no statistics for input %q", in)
+		}
+		w, err := sig.Clocked(cycles, period, rng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: input %q: %w", in, err)
+		}
+		waves[in] = w
+	}
+	return waves, nil
+}
+
+// MeasureReduction simulates two functionally equivalent circuits under
+// identical stimulus and returns (worstPower-bestPower)/worstPower — the
+// S column of Table 3.
+func MeasureReduction(best, worst *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, prm Params) (float64, *Result, *Result, error) {
+	rb, err := Run(best, waves, horizon, prm)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("sim: best circuit: %w", err)
+	}
+	rw, err := Run(worst, waves, horizon, prm)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("sim: worst circuit: %w", err)
+	}
+	if rw.Power == 0 {
+		return 0, rb, rw, nil
+	}
+	return (rw.Power - rb.Power) / rw.Power, rb, rw, nil
+}

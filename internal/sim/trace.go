@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/stoch"
+)
+
+// Trace records every net transition of a simulation run for waveform
+// inspection (VCD export) and glitch analysis.
+type Trace struct {
+	Nets    []string            // all nets, inputs first
+	Initial map[string]bool     // value at t=0 after settling
+	Changes []stoch.TaggedEvent // Input indexes into Nets
+	horizon float64
+}
+
+// RunTrace is Run with full transition recording.
+func RunTrace(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, prm Params) (*Result, *Trace, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if horizon <= 0 {
+		return nil, nil, fmt.Errorf("sim: horizon %v must be positive", horizon)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	s, err := newSimulator(c, prm)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := &Trace{Nets: c.Nets(), Initial: map[string]bool{}, horizon: horizon}
+	idx := make(map[string]int, len(tr.Nets))
+	for i, n := range tr.Nets {
+		idx[n] = i
+	}
+	s.observe = func(time float64, net string, val bool) {
+		tr.Changes = append(tr.Changes, stoch.TaggedEvent{Time: time, Input: idx[net], Value: val})
+	}
+	init := map[string]bool{}
+	for _, in := range c.Inputs {
+		w, ok := waves[in]
+		if !ok {
+			return nil, nil, fmt.Errorf("sim: no waveform for input %q", in)
+		}
+		init[in] = w.Initial
+	}
+	if err := s.settle(init); err != nil {
+		return nil, nil, err
+	}
+	for _, n := range tr.Nets {
+		tr.Initial[n] = s.values[n]
+	}
+	for _, in := range c.Inputs {
+		for _, e := range waves[in].Events {
+			if e.Time > horizon {
+				break
+			}
+			s.push(&event{time: e.Time, net: in, val: e.Value, input: true})
+		}
+	}
+	s.run(horizon)
+	return s.result(horizon), tr, nil
+}
+
+// WriteVCD renders the trace as a Value Change Dump viewable in any
+// waveform browser. Times are emitted in picoseconds.
+func (tr *Trace) WriteVCD(w io.Writer, moduleName string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "$version transistor-reordering switch-level simulator $end")
+	fmt.Fprintln(bw, "$timescale 1ps $end")
+	fmt.Fprintf(bw, "$scope module %s $end\n", moduleName)
+	ids := make(map[string]string, len(tr.Nets))
+	for i, n := range tr.Nets {
+		id := vcdID(i)
+		ids[n] = id
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", id, n)
+	}
+	fmt.Fprintln(bw, "$upscope $end")
+	fmt.Fprintln(bw, "$enddefinitions $end")
+	fmt.Fprintln(bw, "$dumpvars")
+	names := append([]string(nil), tr.Nets...)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(bw, "%s%s\n", vcdBit(tr.Initial[n]), ids[n])
+	}
+	fmt.Fprintln(bw, "$end")
+	lastTime := int64(-1)
+	for _, e := range tr.Changes {
+		t := int64(e.Time * 1e12)
+		if t != lastTime {
+			fmt.Fprintf(bw, "#%d\n", t)
+			lastTime = t
+		}
+		fmt.Fprintf(bw, "%s%s\n", vcdBit(e.Value), ids[tr.Nets[e.Input]])
+	}
+	fmt.Fprintf(bw, "#%d\n", int64(tr.horizon*1e12))
+	return bw.Flush()
+}
+
+func vcdBit(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+// vcdID maps a net index to a short printable identifier.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~"
+	id := ""
+	for {
+		id = string(alphabet[i%len(alphabet)]) + id
+		i /= len(alphabet)
+		if i == 0 {
+			return id
+		}
+		i--
+	}
+}

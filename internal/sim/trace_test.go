@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/sp"
+	"repro/internal/stoch"
+)
+
+func TestRunTraceRecordsTransitions(t *testing.T) {
+	c := invCircuit()
+	waves := map[string]*stoch.Waveform{
+		"a": {Initial: false, Events: []stoch.Event{
+			{Time: 1e-6, Value: true}, {Time: 2e-6, Value: false},
+		}},
+	}
+	res, tr, err := RunTrace(c, waves, 3e-6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetTransitions["z"] != 2 {
+		t.Fatalf("z transitions = %d", res.NetTransitions["z"])
+	}
+	// Trace covers both nets: 2 input + 2 output transitions.
+	if len(tr.Changes) != 4 {
+		t.Fatalf("trace has %d changes, want 4", len(tr.Changes))
+	}
+	// Changes are time-ordered.
+	for i := 1; i < len(tr.Changes); i++ {
+		if tr.Changes[i].Time < tr.Changes[i-1].Time {
+			t.Fatal("trace changes out of order")
+		}
+	}
+	if tr.Initial["z"] != true { // inv(0) settles to 1
+		t.Error("initial value of z wrong in trace")
+	}
+}
+
+func TestWriteVCDWellFormed(t *testing.T) {
+	c := invCircuit()
+	waves := map[string]*stoch.Waveform{
+		"a": {Initial: false, Events: []stoch.Event{{Time: 1e-6, Value: true}}},
+	}
+	_, tr, err := RunTrace(c, waves, 2e-6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := tr.WriteVCD(&buf, "inv1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ps $end",
+		"$scope module inv1 $end",
+		"$var wire 1 ! a $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#1000000", // 1 µs in ps
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestGlitchesOnReconvergentPath(t *testing.T) {
+	// The three-inverter reconvergence from the glitch test: z is
+	// logically constant, so every z transition is useless.
+	invCell := gate.MustNew("inv", []string{"a"}, sp.MustParse("a"))
+	nandCell := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	c := &circuit.Circuit{
+		Name:    "glitch",
+		Inputs:  []string{"x"},
+		Outputs: []string{"z"},
+		Gates: []*circuit.Instance{
+			{Name: "i1", Cell: invCell, Pins: []string{"x"}, Out: "n1"},
+			{Name: "i2", Cell: invCell, Pins: []string{"n1"}, Out: "n2"},
+			{Name: "i3", Cell: invCell, Pins: []string{"n2"}, Out: "nx"},
+			{Name: "g1", Cell: nandCell, Pins: []string{"x", "nx"}, Out: "z"},
+		},
+	}
+	waves := map[string]*stoch.Waveform{
+		"x": {Initial: false, Events: []stoch.Event{
+			{Time: 1e-6, Value: true}, {Time: 2e-6, Value: false},
+			{Time: 3e-6, Value: true}, {Time: 4e-6, Value: false},
+		}},
+	}
+	rep, err := Glitches(c, waves, 6e-6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Functional["z"] != 0 {
+		t.Errorf("functional z transitions = %d, want 0 (constant output)", rep.Functional["z"])
+	}
+	if rep.Simulated["z"] == 0 {
+		t.Error("no simulated glitches at z")
+	}
+	if rep.Useless == 0 || rep.Fraction <= 0 {
+		t.Errorf("useless = %d fraction = %v", rep.Useless, rep.Fraction)
+	}
+}
+
+func TestGlitchesCleanChain(t *testing.T) {
+	// A single-path chain has zero useless transitions.
+	invCell := gate.MustNew("inv", []string{"a"}, sp.MustParse("a"))
+	c := &circuit.Circuit{
+		Name:    "chain",
+		Inputs:  []string{"a"},
+		Outputs: []string{"w2"},
+		Gates: []*circuit.Instance{
+			{Name: "g1", Cell: invCell, Pins: []string{"a"}, Out: "w1"},
+			{Name: "g2", Cell: invCell, Pins: []string{"w1"}, Out: "w2"},
+		},
+	}
+	rng := rand.New(rand.NewSource(1))
+	waves, err := GenerateWaveforms(c.Inputs, map[string]stoch.Signal{"a": {P: 0.5, D: 1e5}}, 1e-4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Glitches(c, waves, 1e-4, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Useless != 0 {
+		t.Errorf("chain reported %d useless transitions", rep.Useless)
+	}
+}
+
+func TestFunctionalTransitionsMatchEval(t *testing.T) {
+	// On the xor-of-nands circuit, functional counts must match a naive
+	// re-evaluation.
+	nandCell := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	c := &circuit.Circuit{
+		Name:    "xor",
+		Inputs:  []string{"x", "y"},
+		Outputs: []string{"z"},
+		Gates: []*circuit.Instance{
+			{Name: "g1", Cell: nandCell, Pins: []string{"x", "y"}, Out: "t"},
+			{Name: "g2", Cell: nandCell, Pins: []string{"x", "t"}, Out: "u"},
+			{Name: "g3", Cell: nandCell, Pins: []string{"t", "y"}, Out: "v"},
+			{Name: "g4", Cell: nandCell, Pins: []string{"u", "v"}, Out: "z"},
+		},
+	}
+	waves := map[string]*stoch.Waveform{
+		"x": {Initial: false, Events: []stoch.Event{{Time: 1e-6, Value: true}, {Time: 3e-6, Value: false}}},
+		"y": {Initial: false, Events: []stoch.Event{{Time: 2e-6, Value: true}}},
+	}
+	counts, err := FunctionalTransitions(c, waves, 5e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z = x⊕y over time: 0,1(t=1µ),0(t=2µ),1(t=3µ): 3 transitions.
+	if counts["z"] != 3 {
+		t.Errorf("functional z transitions = %d, want 3", counts["z"])
+	}
+}

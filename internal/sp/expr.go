@@ -1,0 +1,431 @@
+// Package sp represents the series-parallel transistor topologies of
+// static CMOS gate networks and enumerates their distinct orderings.
+//
+// A pull-down (or pull-up) network is a two-terminal series-parallel graph
+// described by an expression tree: a Leaf is one transistor controlled by a
+// named input; Series composes sub-networks end to end (introducing
+// internal nodes at the boundaries); Parallel composes them across the same
+// two terminals. The paper's transistor reorderings are exactly the
+// permutations of the children of every Series node: permuting Parallel
+// branches does not change the graph (both endpoints are shared), while
+// permuting a Series chain moves transistors relative to the output and
+// rail terminals, which changes the switching activity of the internal
+// nodes and therefore the power (Sections 1.1 and 3.3 of the paper).
+package sp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Kind discriminates expression nodes.
+type Kind int
+
+// The three expression node kinds.
+const (
+	Leaf Kind = iota
+	Series
+	Parallel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Leaf:
+		return "leaf"
+	case Series:
+		return "series"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Expr is an immutable series-parallel network description. Construct
+// values with L, S and P; treat exprs as read-only afterwards.
+type Expr struct {
+	Kind     Kind
+	Input    string  // controlling input, Leaf only
+	Children []*Expr // sub-networks, Series/Parallel only (≥ 2)
+}
+
+// L returns a Leaf: a single transistor controlled by input name.
+func L(name string) *Expr { return &Expr{Kind: Leaf, Input: name} }
+
+// S returns the series composition of the given sub-networks, in order
+// from the terminal nearest the output/top towards the rail/bottom.
+func S(children ...*Expr) *Expr { return &Expr{Kind: Series, Children: children} }
+
+// P returns the parallel composition of the given sub-networks.
+func P(children ...*Expr) *Expr { return &Expr{Kind: Parallel, Children: children} }
+
+// Validate checks structural well-formedness: leaves have non-empty input
+// names, composites have at least two children, and no input name controls
+// more than one transistor (the library is read-once; reordering duplicated
+// inputs is not supported).
+func (e *Expr) Validate() error {
+	seen := map[string]bool{}
+	return e.validate(seen)
+}
+
+func (e *Expr) validate(seen map[string]bool) error {
+	if e == nil {
+		return fmt.Errorf("sp: nil expression node")
+	}
+	switch e.Kind {
+	case Leaf:
+		if e.Input == "" {
+			return fmt.Errorf("sp: leaf with empty input name")
+		}
+		if len(e.Children) != 0 {
+			return fmt.Errorf("sp: leaf %q has children", e.Input)
+		}
+		if seen[e.Input] {
+			return fmt.Errorf("sp: input %q controls more than one transistor", e.Input)
+		}
+		seen[e.Input] = true
+		return nil
+	case Series, Parallel:
+		if len(e.Children) < 2 {
+			return fmt.Errorf("sp: %v node with %d children (want ≥ 2)", e.Kind, len(e.Children))
+		}
+		for _, c := range e.Children {
+			if err := c.validate(seen); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("sp: invalid node kind %v", e.Kind)
+	}
+}
+
+// Inputs returns the input names in tree (left-to-right) order.
+func (e *Expr) Inputs() []string {
+	var names []string
+	e.walk(func(leaf *Expr) { names = append(names, leaf.Input) })
+	return names
+}
+
+func (e *Expr) walk(visit func(leaf *Expr)) {
+	if e.Kind == Leaf {
+		visit(e)
+		return
+	}
+	for _, c := range e.Children {
+		c.walk(visit)
+	}
+}
+
+// NumTransistors returns the number of leaves.
+func (e *Expr) NumTransistors() int {
+	n := 0
+	e.walk(func(*Expr) { n++ })
+	return n
+}
+
+// NumInternalNodes returns the number of internal graph nodes the network
+// introduces between its two terminals: every Series node with k children
+// contributes k-1 boundary nodes.
+func (e *Expr) NumInternalNodes() int {
+	if e.Kind == Leaf {
+		return 0
+	}
+	n := 0
+	if e.Kind == Series {
+		n = len(e.Children) - 1
+	}
+	for _, c := range e.Children {
+		n += c.NumInternalNodes()
+	}
+	return n
+}
+
+// Dual returns the series-parallel dual: series and parallel swap, leaves
+// keep their input. The pull-up network of a complementary static CMOS
+// gate is the dual of its pull-down network.
+func (e *Expr) Dual() *Expr {
+	if e.Kind == Leaf {
+		return L(e.Input)
+	}
+	kind := Series
+	if e.Kind == Series {
+		kind = Parallel
+	}
+	children := make([]*Expr, len(e.Children))
+	for i, c := range e.Children {
+		children[i] = c.Dual()
+	}
+	return &Expr{Kind: kind, Children: children}
+}
+
+// Clone returns a deep copy.
+func (e *Expr) Clone() *Expr {
+	if e.Kind == Leaf {
+		return L(e.Input)
+	}
+	children := make([]*Expr, len(e.Children))
+	for i, c := range e.Children {
+		children[i] = c.Clone()
+	}
+	return &Expr{Kind: e.Kind, Children: children}
+}
+
+// Flatten merges nested nodes of the same kind (series inside series,
+// parallel inside parallel) so that a chain of k transistors is one Series
+// node with k children. Ordering enumeration requires flattened form:
+// series(series(a,b),c) would otherwise under-count the 3! orderings of
+// the physical 3-transistor chain.
+func (e *Expr) Flatten() *Expr {
+	if e.Kind == Leaf {
+		return L(e.Input)
+	}
+	var children []*Expr
+	for _, c := range e.Children {
+		fc := c.Flatten()
+		if fc.Kind == e.Kind {
+			children = append(children, fc.Children...)
+		} else {
+			children = append(children, fc)
+		}
+	}
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &Expr{Kind: e.Kind, Children: children}
+}
+
+// String renders the expression: leaves are their input name, series is
+// s(...), parallel is p(...). Children appear in stored order.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	switch e.Kind {
+	case Leaf:
+		b.WriteString(e.Input)
+	case Series:
+		b.WriteString("s(")
+		for i, c := range e.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			c.write(b)
+		}
+		b.WriteByte(')')
+	case Parallel:
+		b.WriteString("p(")
+		for i, c := range e.Children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			c.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// ConfigKey returns a canonical serialization of the *configuration* the
+// expression denotes: series child order is preserved (it is the physical
+// ordering), parallel child order is normalized away (parallel branches
+// share both endpoints, so their order is not observable). Two ordered
+// expressions describe the same transistor arrangement iff their
+// ConfigKeys are equal.
+func (e *Expr) ConfigKey() string {
+	switch e.Kind {
+	case Leaf:
+		return e.Input
+	case Series:
+		parts := make([]string, len(e.Children))
+		for i, c := range e.Children {
+			parts[i] = c.ConfigKey()
+		}
+		return "s(" + strings.Join(parts, ",") + ")"
+	case Parallel:
+		parts := make([]string, len(e.Children))
+		for i, c := range e.Children {
+			parts[i] = c.ConfigKey()
+		}
+		sort.Strings(parts)
+		return "p(" + strings.Join(parts, ",") + ")"
+	default:
+		panic("sp: invalid kind")
+	}
+}
+
+// ShapeKey is like ConfigKey but also normalizes series order away; it
+// identifies the unordered network (the gate), not a particular
+// configuration. All reorderings of a network share its ShapeKey.
+func (e *Expr) ShapeKey() string {
+	switch e.Kind {
+	case Leaf:
+		return e.Input
+	case Series, Parallel:
+		parts := make([]string, len(e.Children))
+		for i, c := range e.Children {
+			parts[i] = c.ShapeKey()
+		}
+		sort.Strings(parts)
+		if e.Kind == Series {
+			return "s(" + strings.Join(parts, ",") + ")"
+		}
+		return "p(" + strings.Join(parts, ",") + ")"
+	default:
+		panic("sp: invalid kind")
+	}
+}
+
+// Conduction returns the boolean conduction function of the network over
+// the variable space defined by vars (name → variable index) with n total
+// variables. A leaf conducts when its input is 1 if negate is false (NMOS)
+// or when its input is 0 if negate is true (PMOS). Series conjoins,
+// parallel disjoins.
+func (e *Expr) Conduction(vars map[string]int, n int, negate bool) (logic.Func, error) {
+	switch e.Kind {
+	case Leaf:
+		i, ok := vars[e.Input]
+		if !ok {
+			return logic.Func{}, fmt.Errorf("sp: input %q not in variable map", e.Input)
+		}
+		v := logic.Var(i, n)
+		if negate {
+			v = v.Not()
+		}
+		return v, nil
+	case Series, Parallel:
+		if len(e.Children) == 0 {
+			return logic.Func{}, fmt.Errorf("sp: empty %v node", e.Kind)
+		}
+		acc, err := e.Children[0].Conduction(vars, n, negate)
+		if err != nil {
+			return logic.Func{}, err
+		}
+		for _, c := range e.Children[1:] {
+			f, err := c.Conduction(vars, n, negate)
+			if err != nil {
+				return logic.Func{}, err
+			}
+			if e.Kind == Series {
+				acc = acc.And(f)
+			} else {
+				acc = acc.Or(f)
+			}
+		}
+		return acc, nil
+	default:
+		return logic.Func{}, fmt.Errorf("sp: invalid kind %v", e.Kind)
+	}
+}
+
+// RenameInputs returns a copy with every leaf input renamed through m.
+// Inputs absent from m are kept unchanged.
+func (e *Expr) RenameInputs(m map[string]string) *Expr {
+	if e.Kind == Leaf {
+		if to, ok := m[e.Input]; ok {
+			return L(to)
+		}
+		return L(e.Input)
+	}
+	children := make([]*Expr, len(e.Children))
+	for i, c := range e.Children {
+		children[i] = c.RenameInputs(m)
+	}
+	return &Expr{Kind: e.Kind, Children: children}
+}
+
+// Parse parses the textual form produced by String: identifiers, s(...)
+// and p(...) with comma-separated children.
+func Parse(src string) (*Expr, error) {
+	p := &parser{src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("sp: trailing input %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for constant cell definitions.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) parseExpr() (*Expr, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("sp: expected identifier at offset %d of %q", p.pos, p.src)
+	}
+	name := p.src[start:p.pos]
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		var kind Kind
+		switch name {
+		case "s":
+			kind = Series
+		case "p":
+			kind = Parallel
+		default:
+			return nil, fmt.Errorf("sp: unknown combinator %q (want s or p)", name)
+		}
+		p.pos++ // consume '('
+		var children []*Expr
+		for {
+			c, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, c)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("sp: unterminated %v node in %q", kind, p.src)
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, fmt.Errorf("sp: unexpected %q at offset %d of %q", p.src[p.pos], p.pos, p.src)
+		}
+		if len(children) < 2 {
+			return nil, fmt.Errorf("sp: %v node with fewer than two children in %q", kind, p.src)
+		}
+		return &Expr{Kind: kind, Children: children}, nil
+	}
+	return L(name), nil
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '[' || c == ']' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,270 @@
+package sp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// oai21pd is the pull-down network of the paper's motivation gate
+// y = ¬((a1+a2)·b): the parallel pair (a1,a2) in series with b.
+func oai21pd() *Expr { return S(P(L("a1"), L("a2")), L("b")) }
+
+func TestValidate(t *testing.T) {
+	if err := oai21pd().Validate(); err != nil {
+		t.Errorf("valid network rejected: %v", err)
+	}
+	bad := []*Expr{
+		L(""),             // empty name
+		S(L("a")),         // one child
+		P(L("a")),         // one child
+		S(L("a"), L("a")), // duplicated input
+		{Kind: Kind(99)},  // invalid kind
+		{Kind: Leaf, Input: "a", Children: []*Expr{L("b")}}, // leaf with children
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: invalid network accepted: %v", i, e)
+		}
+	}
+}
+
+func TestInputsOrder(t *testing.T) {
+	e := S(P(L("a1"), L("a2")), L("b"))
+	got := e.Inputs()
+	want := []string{"a1", "a2", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("Inputs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Inputs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNumTransistorsAndInternalNodes(t *testing.T) {
+	cases := []struct {
+		e         *Expr
+		trans     int
+		internals int
+	}{
+		{L("a"), 1, 0},
+		{S(L("a"), L("b")), 2, 1},
+		{S(L("a"), L("b"), L("c")), 3, 2},
+		{P(L("a"), L("b"), L("c")), 3, 0},
+		{oai21pd(), 3, 1},
+		{S(P(L("a"), L("b")), P(L("c"), L("d"))), 4, 1},
+		{P(S(L("a"), L("b")), S(L("c"), L("d"))), 4, 2},
+	}
+	for i, c := range cases {
+		if got := c.e.NumTransistors(); got != c.trans {
+			t.Errorf("case %d: NumTransistors = %d, want %d", i, got, c.trans)
+		}
+		if got := c.e.NumInternalNodes(); got != c.internals {
+			t.Errorf("case %d: NumInternalNodes = %d, want %d", i, got, c.internals)
+		}
+	}
+}
+
+func TestDualInvolution(t *testing.T) {
+	e := oai21pd()
+	d := e.Dual()
+	if d.Kind != Parallel {
+		t.Errorf("dual of series is %v", d.Kind)
+	}
+	if dd := d.Dual(); dd.ConfigKey() != e.ConfigKey() {
+		t.Errorf("dual of dual = %v, want %v", dd, e)
+	}
+}
+
+func TestDualConductionIsComplement(t *testing.T) {
+	// For any SP network f, the dual network with negated literals conducts
+	// exactly when f does not: PUN = ¬PDN for complementary gates.
+	exprs := []*Expr{
+		L("a"),
+		S(L("a"), L("b")),
+		P(L("a"), L("b")),
+		oai21pd(),
+		P(S(L("a"), L("b")), S(L("c"), L("d"))),
+		S(P(L("a"), L("b"), L("c")), L("d")),
+	}
+	for _, e := range exprs {
+		names := e.Inputs()
+		vars := map[string]int{}
+		for i, n := range names {
+			vars[n] = i
+		}
+		pd, err := e.Conduction(vars, len(names), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pu, err := e.Dual().Conduction(vars, len(names), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pu.Equal(pd.Not()) {
+			t.Errorf("%v: dual conduction is not the complement", e)
+		}
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	e := S(S(L("a"), L("b")), L("c"))
+	f := e.Flatten()
+	if f.Kind != Series || len(f.Children) != 3 {
+		t.Fatalf("Flatten(%v) = %v", e, f)
+	}
+	// Flatten preserves conduction.
+	vars := map[string]int{"a": 0, "b": 1, "c": 2}
+	fe, _ := e.Conduction(vars, 3, false)
+	ff, _ := f.Conduction(vars, 3, false)
+	if !fe.Equal(ff) {
+		t.Error("flatten changed conduction function")
+	}
+	// Nested parallel also flattens.
+	g := P(P(L("a"), L("b")), L("c")).Flatten()
+	if g.Kind != Parallel || len(g.Children) != 3 {
+		t.Fatalf("parallel flatten = %v", g)
+	}
+	// Mixed nesting does not over-flatten.
+	h := S(P(L("a"), L("b")), L("c")).Flatten()
+	if h.Kind != Series || len(h.Children) != 2 {
+		t.Fatalf("mixed flatten = %v", h)
+	}
+}
+
+func TestConfigKeyNormalizesParallelOnly(t *testing.T) {
+	a := S(P(L("a1"), L("a2")), L("b"))
+	b := S(P(L("a2"), L("a1")), L("b")) // parallel order swapped: same config
+	c := S(L("b"), P(L("a1"), L("a2"))) // series order swapped: different config
+	if a.ConfigKey() != b.ConfigKey() {
+		t.Error("parallel order affected ConfigKey")
+	}
+	if a.ConfigKey() == c.ConfigKey() {
+		t.Error("series order did not affect ConfigKey")
+	}
+	// ShapeKey ignores both.
+	if a.ShapeKey() != c.ShapeKey() {
+		t.Error("series order affected ShapeKey")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	e := oai21pd()
+	c := e.Clone()
+	c.Children[0].Children[0].Input = "zz"
+	if e.Children[0].Children[0].Input != "a1" {
+		t.Error("Clone shares leaves with original")
+	}
+}
+
+func TestRenameInputs(t *testing.T) {
+	e := oai21pd()
+	r := e.RenameInputs(map[string]string{"a1": "a2", "a2": "a1"})
+	if r.String() != "s(p(a2,a1),b)" {
+		t.Errorf("RenameInputs = %v", r)
+	}
+	// Unmapped names unchanged.
+	r2 := e.RenameInputs(map[string]string{})
+	if r2.String() != e.String() {
+		t.Errorf("identity rename changed expr: %v", r2)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"a",
+		"s(a,b)",
+		"p(a,b,c)",
+		"s(p(a1,a2),b)",
+		"p(s(a,b),s(c,d),e)",
+		"s(p(s(a,b),c),d)",
+	}
+	for _, src := range cases {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if got := e.String(); got != src {
+			t.Errorf("round trip %q -> %q", src, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"s()",
+		"s(a)",
+		"q(a,b)",
+		"s(a,b",
+		"s(a,,b)",
+		"s(a,b))",
+		"s(a b)",
+		"(a,b)",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("s(")
+}
+
+func TestConductionUnknownInput(t *testing.T) {
+	if _, err := L("zz").Conduction(map[string]int{"a": 0}, 1, false); err == nil {
+		t.Error("unknown input accepted")
+	}
+}
+
+func TestConductionOAI21(t *testing.T) {
+	vars := map[string]int{"a1": 0, "a2": 1, "b": 2}
+	pd, err := oai21pd().Conduction(vars, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := logic.MustParseExpr("(a1 + a2) b", []string{"a1", "a2", "b"})
+	if !pd.Equal(want) {
+		t.Errorf("PDN conduction = %v, want %v", pd, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Leaf.String() != "leaf" || Series.String() != "series" || Parallel.String() != "parallel" {
+		t.Error("Kind.String wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	// Random byte strings must yield an error or an expression, no panics.
+	pieces := []string{"s(", "p(", ")", ",", "a", "b1", "s", "p", " ", "(("}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		for i := 0; i < rng.Intn(12); i++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", b.String(), r)
+				}
+			}()
+			_, _ = Parse(b.String())
+		}()
+	}
+}

@@ -1,0 +1,334 @@
+package sp
+
+import (
+	"sort"
+)
+
+// CountOrderings returns the number of distinct configurations obtainable
+// by reordering the network's transistors, without enumerating them:
+// a leaf has 1; a parallel node multiplies its children's counts (branch
+// order is unobservable); a series node of k children additionally
+// multiplies by k! (every chain permutation is a distinct physical
+// arrangement). The expression is flattened first. Inputs are assumed
+// distinct (Validate enforces this).
+func CountOrderings(e *Expr) int {
+	return countOrderings(e.Flatten())
+}
+
+func countOrderings(e *Expr) int {
+	if e.Kind == Leaf {
+		return 1
+	}
+	n := 1
+	for _, c := range e.Children {
+		n *= countOrderings(c)
+	}
+	if e.Kind == Series {
+		n *= factorial(len(e.Children))
+	}
+	return n
+}
+
+func factorial(k int) int {
+	f := 1
+	for i := 2; i <= k; i++ {
+		f *= i
+	}
+	return f
+}
+
+// Orderings enumerates every distinct configuration of the network as a
+// fresh expression, flattening first. The result is sorted by ConfigKey so
+// enumeration order is deterministic. The identity configuration (the
+// input expression itself, flattened) is always among the results.
+func Orderings(e *Expr) []*Expr {
+	variants := enumerate(e.Flatten())
+	sort.Slice(variants, func(i, j int) bool {
+		return variants[i].ConfigKey() < variants[j].ConfigKey()
+	})
+	// Inputs are distinct, so no two variants share a ConfigKey; dedup
+	// defensively anyway to keep the invariant under future relaxations.
+	out := variants[:0]
+	var prev string
+	for _, v := range variants {
+		k := v.ConfigKey()
+		if k != prev {
+			out = append(out, v)
+			prev = k
+		}
+	}
+	return out
+}
+
+func enumerate(e *Expr) []*Expr {
+	if e.Kind == Leaf {
+		return []*Expr{L(e.Input)}
+	}
+	// Variants of each child.
+	childVariants := make([][]*Expr, len(e.Children))
+	for i, c := range e.Children {
+		childVariants[i] = enumerate(c)
+	}
+	// Cartesian product of child variants.
+	combos := [][]*Expr{{}}
+	for _, vs := range childVariants {
+		var next [][]*Expr
+		for _, combo := range combos {
+			for _, v := range vs {
+				row := make([]*Expr, len(combo), len(combo)+1)
+				copy(row, combo)
+				next = append(next, append(row, v))
+			}
+		}
+		combos = next
+	}
+	var out []*Expr
+	if e.Kind == Parallel {
+		for _, combo := range combos {
+			out = append(out, &Expr{Kind: Parallel, Children: combo})
+		}
+		return out
+	}
+	// Series: every permutation of every combination.
+	for _, combo := range combos {
+		permute(combo, func(perm []*Expr) {
+			children := make([]*Expr, len(perm))
+			copy(children, perm)
+			out = append(out, &Expr{Kind: Series, Children: children})
+		})
+	}
+	return out
+}
+
+// permute calls visit with every permutation of xs (Heap's algorithm).
+// The slice passed to visit is reused; visit must copy if it retains it.
+func permute(xs []*Expr, visit func([]*Expr)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			visit(xs)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				xs[i], xs[k-1] = xs[k-1], xs[i]
+			} else {
+				xs[0], xs[k-1] = xs[k-1], xs[0]
+			}
+		}
+	}
+	if len(xs) == 0 {
+		return
+	}
+	rec(len(xs))
+}
+
+// Automorphisms returns the input permutations that map the unordered
+// network onto itself: bijections m over the input names such that
+// renaming the inputs of e by m yields the same ShapeKey. These are the
+// symmetries of the gate — input swaps realizable by rewiring rather than
+// by a different layout. The identity is always included. Brute force over
+// all permutations; library gates have at most six inputs.
+func Automorphisms(e *Expr) []map[string]string {
+	names := e.Inputs()
+	sort.Strings(names)
+	shape := e.ShapeKey()
+	var autos []map[string]string
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	permuteInts(idx, func(perm []int) {
+		m := make(map[string]string, len(names))
+		for i, p := range perm {
+			m[names[i]] = names[p]
+		}
+		if e.RenameInputs(m).ShapeKey() == shape {
+			autos = append(autos, m)
+		}
+	})
+	return autos
+}
+
+func permuteInts(xs []int, visit func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			cp := make([]int, len(xs))
+			copy(cp, xs)
+			visit(cp)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				xs[i], xs[k-1] = xs[k-1], xs[i]
+			} else {
+				xs[0], xs[k-1] = xs[k-1], xs[0]
+			}
+		}
+	}
+	if len(xs) == 0 {
+		return
+	}
+	rec(len(xs))
+}
+
+// Instances partitions the configurations of e into orbits under the
+// automorphism group: two configurations belong to the same instance when
+// one can be obtained from the other purely by rewiring symmetric inputs.
+// A Sea-of-Gates library needs one physical cell layout per instance
+// (paper Sec. 5.1: oai21[A] realizes configurations (A) and (B), oai21[B]
+// realizes (C) and (D)). The orbits are returned sorted by their smallest
+// member's ConfigKey; each orbit is itself sorted.
+func Instances(e *Expr) [][]*Expr {
+	configs := Orderings(e)
+	autos := Automorphisms(e)
+	keyToIdx := make(map[string]int, len(configs))
+	for i, c := range configs {
+		keyToIdx[c.ConfigKey()] = i
+	}
+	// Union-find over configuration indices.
+	parent := make([]int, len(configs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i, c := range configs {
+		for _, m := range autos {
+			j, ok := keyToIdx[c.RenameInputs(m).ConfigKey()]
+			if !ok {
+				// An automorphism must map configurations to
+				// configurations; reaching here is a bug.
+				panic("sp: automorphism image is not a configuration")
+			}
+			union(i, j)
+		}
+	}
+	groups := map[int][]*Expr{}
+	for i, c := range configs {
+		r := find(i)
+		groups[r] = append(groups[r], c)
+	}
+	var orbits [][]*Expr
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].ConfigKey() < g[j].ConfigKey() })
+		orbits = append(orbits, g)
+	}
+	sort.Slice(orbits, func(i, j int) bool {
+		return orbits[i][0].ConfigKey() < orbits[j][0].ConfigKey()
+	})
+	return orbits
+}
+
+// Pivot returns a new expression in which the two series sub-networks
+// adjacent to the given internal node are transposed — the paper's
+// PIVOTING_ON_INTERNAL_NODE (Fig. 4). Internal nodes are numbered 0..p-1
+// in depth-first order over the flattened expression: a Series node with k
+// children owns k-1 boundary nodes, visited child-by-child, with each
+// child's own internal nodes preceding the boundary that follows it.
+// Pivot panics if node is out of range; use NumInternalNodes for the count.
+func Pivot(e *Expr, node int) *Expr {
+	f := e.Flatten()
+	res, rem := pivot(f, node)
+	if rem >= 0 {
+		panic("sp: pivot node index out of range")
+	}
+	return res
+}
+
+// pivot transposes around the rem-th internal node in depth-first order.
+// It returns the (possibly) rebuilt node and the remaining count; a
+// negative remaining count signals the pivot was applied.
+func pivot(e *Expr, rem int) (*Expr, int) {
+	if e.Kind == Leaf {
+		return e, rem
+	}
+	children := make([]*Expr, len(e.Children))
+	copy(children, e.Children)
+	for i, c := range children {
+		var nc *Expr
+		nc, rem = pivot(c, rem)
+		children[i] = nc
+		if rem < 0 {
+			return &Expr{Kind: e.Kind, Children: children}, rem
+		}
+		// Boundary node after child i (series only, not after the last).
+		if e.Kind == Series && i < len(children)-1 {
+			if rem == 0 {
+				children[i], children[i+1] = children[i+1], children[i]
+				return &Expr{Kind: e.Kind, Children: children}, -1
+			}
+			rem--
+		}
+	}
+	return &Expr{Kind: e.Kind, Children: children}, rem
+}
+
+// ExploreStep records one step of the exhaustive exploration for tracing
+// (Fig. 5 of the paper shows such a trace for the motivation gate).
+type ExploreStep struct {
+	PivotNode int    // internal node pivoted on
+	Config    string // ConfigKey reached
+	New       bool   // true if the configuration had not been visited yet
+}
+
+// FindAllReorderings runs the paper's recursive exhaustive exploration
+// (Fig. 4): starting from e, repeatedly pivot on every internal node,
+// pruning configurations already visited. It returns the visited
+// configurations in discovery order and, if trace is non-nil, appends one
+// ExploreStep per pivot application.
+//
+// The combinatorial enumerator Orderings is the specification; tests
+// assert both produce the same configuration set ([5] proves completeness
+// of the pivot search).
+func FindAllReorderings(e *Expr, trace *[]ExploreStep) []*Expr {
+	f := e.Flatten()
+	visited := map[string]*Expr{}
+	order := []*Expr{}
+	add := func(x *Expr) bool {
+		k := x.ConfigKey()
+		if _, ok := visited[k]; ok {
+			return false
+		}
+		visited[k] = x
+		order = append(order, x)
+		return true
+	}
+	add(f)
+	p := f.NumInternalNodes()
+	var search func(cur *Expr, node int)
+	search = func(cur *Expr, node int) {
+		next := Pivot(cur, node)
+		isNew := add(next)
+		if trace != nil {
+			*trace = append(*trace, ExploreStep{PivotNode: node, Config: next.ConfigKey(), New: isNew})
+		}
+		if !isNew {
+			return
+		}
+		for i := 0; i < p; i++ {
+			if i != node {
+				search(next, i)
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		search(f, i)
+	}
+	return order
+}

@@ -1,0 +1,56 @@
+package sp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomExpr draws a random read-once series-parallel network over
+// exactly n distinct inputs (in0..in{n-1}), for property-based tests of
+// the enumeration, graph and power machinery. The shape distribution
+// favors the mixtures found in real cell libraries: alternating
+// series/parallel levels with small fan-ins.
+func RandomExpr(rng *rand.Rand, n int) *Expr {
+	if n < 1 {
+		panic(fmt.Sprintf("sp: RandomExpr needs n ≥ 1, got %d", n))
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("in%d", i)
+	}
+	e := buildRandom(rng, names, rng.Intn(2) == 0)
+	return e.Flatten()
+}
+
+// buildRandom splits the name set into 2..4 groups and combines them with
+// the given kind, alternating kinds per level.
+func buildRandom(rng *rand.Rand, names []string, series bool) *Expr {
+	if len(names) == 1 {
+		return L(names[0])
+	}
+	k := 2
+	if len(names) > 2 && rng.Intn(2) == 0 {
+		k = 3
+	}
+	if k > len(names) {
+		k = len(names)
+	}
+	// Partition names into k non-empty groups.
+	groups := make([][]string, k)
+	perm := rng.Perm(len(names))
+	for i := 0; i < k; i++ {
+		groups[i] = []string{names[perm[i]]}
+	}
+	for _, idx := range perm[k:] {
+		g := rng.Intn(k)
+		groups[g] = append(groups[g], names[idx])
+	}
+	children := make([]*Expr, k)
+	for i, g := range groups {
+		children[i] = buildRandom(rng, g, !series)
+	}
+	if series {
+		return S(children...)
+	}
+	return P(children...)
+}

@@ -1,0 +1,8 @@
+package repro
+
+import "math/rand"
+
+// newRand returns a deterministic source for reproducible measurements.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
