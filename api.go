@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/circuit"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/reorder"
 	"repro/internal/sim"
 	"repro/internal/stoch"
+	"repro/internal/sweep"
 )
 
 // Core types re-exported for users of the facade.
@@ -43,6 +45,19 @@ type (
 	DelayParams = delay.Params
 	// TimingResult is a static timing analysis.
 	TimingResult = delay.Result
+	// SweepOptions configures a concurrent benchmark × scenario × mode ×
+	// seed sweep.
+	SweepOptions = sweep.Options
+	// SweepJob identifies one cell of the sweep cross product.
+	SweepJob = sweep.Job
+	// SweepResult is one finished sweep job (JSONL-serializable).
+	SweepResult = sweep.Result
+	// SweepSummary is a completed sweep: ordered results plus
+	// scenario × mode aggregates.
+	SweepSummary = sweep.Summary
+	// IncrementalAnalysis maintains a circuit's power analysis under
+	// local mutation, re-evaluating only fan-out cones.
+	IncrementalAnalysis = core.Incremental
 	// GateAnalysis is the power model's evaluation of a single gate.
 	GateAnalysis = core.GateAnalysis
 	// CircuitAnalysis is the power model's evaluation of a circuit.
@@ -140,6 +155,25 @@ func Simulate(c *Circuit, pi map[string]Signal, horizon float64, seed int64, prm
 // CircuitDelay runs static timing analysis with the Elmore stack model.
 func CircuitDelay(c *Circuit, prm DelayParams) (*TimingResult, error) {
 	return delay.CircuitDelay(c, prm)
+}
+
+// DefaultSweepOptions returns the paper's full sweep: every Table 3
+// benchmark under both scenarios, full reordering, simulation on.
+func DefaultSweepOptions() SweepOptions { return sweep.DefaultOptions() }
+
+// RunSweep fans the configured benchmark × scenario × mode × seed jobs
+// across a bounded worker pool. Results are deterministic for a given
+// configuration regardless of worker count; ctx cancels queued jobs.
+func RunSweep(ctx context.Context, opt SweepOptions) (*SweepSummary, error) {
+	return sweep.Run(ctx, opt)
+}
+
+// NewIncrementalAnalysis analyzes the circuit once in full and returns an
+// engine that keeps the analysis current under gate reconfiguration
+// (SetConfig) and input-statistics changes (SetInputs), re-evaluating
+// only the fan-out cone of each change.
+func NewIncrementalAnalysis(c *Circuit, pi map[string]Signal, prm PowerParams) (*IncrementalAnalysis, error) {
+	return core.NewIncremental(c, pi, prm)
 }
 
 // ScenarioInputs draws the paper's scenario A or B primary-input

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -204,5 +205,45 @@ func TestFacadeSimulateDeterministic(t *testing.T) {
 	}
 	if r1.Energy == r3.Energy && r1.Events == r3.Events {
 		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestRunSweepFacade(t *testing.T) {
+	opt := repro.DefaultSweepOptions()
+	opt.Benchmarks = []string{"c17"}
+	opt.Seeds = []int64{1}
+	opt.Simulate = false
+	opt.Workers = 2
+	s, err := repro.RunSweep(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 2 || s.Failed != 0 { // scenarios A and B
+		t.Fatalf("got %d results, %d failed", len(s.Results), s.Failed)
+	}
+	for _, r := range s.Results {
+		if r.ModelRed <= 0 {
+			t.Errorf("job %d (%s/%s): non-positive model reduction %v", r.Index, r.Benchmark, r.Scenario, r.ModelRed)
+		}
+	}
+}
+
+func TestIncrementalAnalysisFacade(t *testing.T) {
+	lib := repro.DefaultLibrary()
+	c, err := repro.LoadBenchmark("rca4", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := repro.UniformInputs(c, 0.5, 1e5)
+	inc, err := repro.NewIncrementalAnalysis(c, stats, repro.DefaultPowerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := repro.EstimatePower(c, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(inc.Power()-full.Power) / full.Power; diff > 1e-9 {
+		t.Fatalf("incremental power %v != full %v", inc.Power(), full.Power)
 	}
 }

@@ -6,20 +6,25 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro"
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/expt"
 	"repro/internal/gate"
 	"repro/internal/library"
+	"repro/internal/mcnc"
 	"repro/internal/reorder"
 	"repro/internal/sim"
 	"repro/internal/sp"
 	"repro/internal/stoch"
+	"repro/internal/sweep"
 )
 
 // table3Subset is the benchmark subset the testing.B harness sweeps; the
@@ -427,6 +432,115 @@ func BenchmarkCapacitanceSensitivity(b *testing.B) {
 				red = (worst.PowerAfter - best.PowerAfter) / worst.PowerAfter
 			}
 			b.ReportMetric(100*red, "%best-vs-worst")
+		})
+	}
+}
+
+// largestEmbedded returns the embedded benchmark with the most gates —
+// the hardest case the incremental engine must beat full re-analysis on.
+func largestEmbedded(b *testing.B, lib *library.Library) *circuit.Circuit {
+	b.Helper()
+	var largest *circuit.Circuit
+	for _, name := range mcnc.EmbeddedNames() {
+		c, err := mcnc.Load(name, lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if largest == nil || len(c.Gates) > len(largest.Gates) {
+			largest = c
+		}
+	}
+	return largest
+}
+
+// BenchmarkIncrementalVsFull measures the tentpole claim: after
+// reordering one gate, updating the circuit's power through the
+// incremental engine (fan-out-cone repropagation with frontier cutoff)
+// versus re-running the full AnalyzeCircuit. Run on the largest embedded
+// benchmark; the incremental path re-evaluates exactly one gate per move
+// because reordering preserves output statistics.
+func BenchmarkIncrementalVsFull(b *testing.B) {
+	lib := repro.DefaultLibrary()
+	c := largestEmbedded(b, lib)
+	prm := core.DefaultParams()
+	pi := repro.UniformInputs(c, 0.5, 1e5)
+	// Pick a mid-circuit gate with at least two configurations to flip
+	// between, so every iteration performs a real update.
+	var target *circuit.Instance
+	var cfgs []*gate.Gate
+	order, err := c.TopoOrder()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range order[len(order)/2:] {
+		if all := g.Cell.AllConfigs(); len(all) >= 2 {
+			target, cfgs = g, all
+			break
+		}
+	}
+	if target == nil {
+		b.Fatal("no reorderable gate in largest embedded benchmark")
+	}
+	b.Logf("benchmark %s: %d gates, flipping %s (%s)", c.Name, len(c.Gates), target.Name, target.Cell.Name)
+
+	b.Run("full-reanalysis", func(b *testing.B) {
+		var power float64
+		for i := 0; i < b.N; i++ {
+			target.Cell = cfgs[i%2]
+			a, err := core.AnalyzeCircuit(c, pi, prm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			power = a.Power
+		}
+		b.ReportMetric(power*1e6, "uW")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		inc, err := core.NewIncremental(c, pi, prm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := inc.Recomputed()
+		b.ResetTimer()
+		var power float64
+		for i := 0; i < b.N; i++ {
+			if err := inc.SetConfig(target.Name, cfgs[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			power = inc.Power()
+		}
+		b.StopTimer()
+		b.ReportMetric(power*1e6, "uW")
+		b.ReportMetric(float64(inc.Recomputed()-base)/float64(b.N), "gate-evals/op")
+	})
+}
+
+// BenchmarkSweepWorkers measures the sweep engine's scaling: the same
+// model-only job set under 1 worker and under GOMAXPROCS workers.
+func BenchmarkSweepWorkers(b *testing.B) {
+	benches := []string{"cm138a", "cht", "cu", "c17", "rca4", "rca8"}
+	workersList := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workersList = append(workersList, n)
+	}
+	for _, workers := range workersList {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var failed int
+			for i := 0; i < b.N; i++ {
+				opt := sweep.DefaultOptions()
+				opt.Benchmarks = benches
+				opt.Seeds = []int64{1}
+				opt.Simulate = false
+				opt.Workers = workers
+				s, err := sweep.Run(context.Background(), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				failed = s.Failed
+			}
+			if failed != 0 {
+				b.Fatalf("%d jobs failed", failed)
+			}
 		})
 	}
 }

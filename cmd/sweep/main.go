@@ -1,0 +1,177 @@
+// Command sweep runs the concurrent experiment engine: every requested
+// benchmark × scenario × mode × seed cell, fanned across a bounded worker
+// pool, with per-job JSON-lines streaming and an aggregate table.
+//
+// Examples:
+//
+//	sweep                                     # all Table 3 benchmarks, scenarios A+B, full reordering
+//	sweep -bench cm138a,cu,alu2 -modes full,input-only -seeds 1,2,3
+//	sweep -scenarios A -nosim -workers 4 -jsonl results.jsonl
+//	sweep -bench rca8 -modes full,delay-neutral -v
+//
+// Results are deterministic for a given flag set regardless of -workers.
+// Ctrl-C cancels queued jobs; finished rows already streamed stand.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"repro/internal/expt"
+	"repro/internal/mcnc"
+	"repro/internal/reorder"
+	"repro/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bench     = flag.String("bench", "", "comma-separated benchmarks (default: all 39 of Table 3)")
+		scenarios = flag.String("scenarios", "A,B", "comma-separated input scenarios")
+		modes     = flag.String("modes", "full", "comma-separated modes: full,input-only,delay-rule,delay-neutral")
+		seeds     = flag.String("seeds", "", "comma-separated replicate seeds (default: 1996)")
+		workers   = flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS)")
+		nosim     = flag.Bool("nosim", false, "skip switch-level simulation (S column reads 0)")
+		jsonl     = flag.String("jsonl", "", "stream one JSON object per finished job to this file ('-' for stdout)")
+		horizon   = flag.Float64("horizon", 0, "scenario A simulation horizon in seconds (0 = default)")
+		cycles    = flag.Int("cycles", 0, "scenario B simulated cycles (0 = default)")
+		verbose   = flag.Bool("v", false, "print the per-job table, not only the aggregates")
+		list      = flag.Bool("list", false, "print the planned jobs and exit")
+	)
+	flag.Parse()
+
+	opt := sweep.DefaultOptions()
+	if *bench != "" {
+		opt.Benchmarks = splitTrim(*bench)
+	}
+	opt.Scenarios = opt.Scenarios[:0]
+	for _, s := range splitTrim(*scenarios) {
+		sc, err := sweep.ParseScenario(s)
+		if err != nil {
+			return err
+		}
+		opt.Scenarios = append(opt.Scenarios, sc)
+	}
+	if len(opt.Scenarios) == 0 {
+		return fmt.Errorf("-scenarios %q names no scenario", *scenarios)
+	}
+	opt.Modes = opt.Modes[:0]
+	for _, s := range splitTrim(*modes) {
+		m, err := sweep.ParseMode(s)
+		if err != nil {
+			return err
+		}
+		opt.Modes = append(opt.Modes, m)
+	}
+	if len(opt.Modes) == 0 {
+		return fmt.Errorf("-modes %q names no mode", *modes)
+	}
+	if *seeds != "" {
+		for _, s := range splitTrim(*seeds) {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q: %w", s, err)
+			}
+			opt.Seeds = append(opt.Seeds, v)
+		}
+	}
+	if *workers > 0 {
+		opt.Workers = *workers
+	}
+	opt.Simulate = !*nosim
+	if *horizon > 0 {
+		opt.Expt.HorizonA = *horizon
+	}
+	if *cycles > 0 {
+		opt.Expt.CyclesB = *cycles
+	}
+
+	jobs := sweep.Jobs(opt)
+	if *list {
+		for _, j := range jobs {
+			fmt.Printf("%4d  %-10s sc=%s mode=%-13s seed=%d\n", j.Index, j.Benchmark, j.Scenario, j.Mode, j.Seed)
+		}
+		return nil
+	}
+	for _, j := range jobs {
+		if _, ok := mcnc.Find(j.Benchmark); !ok {
+			if _, embedded := mcnc.EmbeddedSource(j.Benchmark); !embedded {
+				return fmt.Errorf("unknown benchmark %q", j.Benchmark)
+			}
+		}
+	}
+
+	if *jsonl != "" {
+		if *jsonl == "-" {
+			opt.Stream = os.Stdout
+		} else {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			opt.Stream = f
+		}
+	}
+
+	done := 0
+	opt.OnResult = func(r sweep.Result) {
+		done++
+		status := ""
+		if r.Err != "" {
+			status = "  ERROR: " + r.Err
+		}
+		fmt.Fprintf(os.Stderr, "\r[%d/%d] %s sc=%s %s%s", done, len(jobs), r.Benchmark, r.Scenario, r.Mode, status)
+		if r.Err != "" {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "sweep: %d jobs (%d benchmarks × %d scenarios × %d modes × %d seeds), %d workers\n",
+		len(jobs), len(jobs)/(len(opt.Scenarios)*len(opt.Modes)*max(1, len(opt.Seeds))),
+		len(opt.Scenarios), len(opt.Modes), max(1, len(opt.Seeds)), opt.Workers)
+	s, err := sweep.Run(ctx, opt)
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		fmt.Println(s.Table())
+	}
+	fmt.Printf("aggregates (M: model reduction, S: simulated reduction, D: delay increase)\n\n")
+	fmt.Print(s.AggregateTable())
+	if s.Failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed (see table)", s.Failed, len(s.Results))
+	}
+	p := expt.Paper()
+	for _, a := range s.Aggregates {
+		if a.Scenario == expt.ScenarioA.String() && a.Mode == reorder.Full.String() {
+			fmt.Printf("\npaper (scenario A, full): M %.0f%%, S %.0f%%, D +%.0f%%\n",
+				100*p.ModelRedA, 100*p.SimRedA, 100*p.DelayIncA)
+		}
+	}
+	return nil
+}
+
+func splitTrim(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

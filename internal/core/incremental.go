@@ -1,0 +1,297 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/stoch"
+)
+
+// Incremental maintains the power analysis of a circuit under local
+// mutation. Where AnalyzeCircuit re-propagates statistics and re-evaluates
+// the power model over every gate, an Incremental re-evaluates only the
+// fan-out cone of a change — and stops early at the topological frontier
+// where statistics settle back to their previous values. Reordering a
+// gate's transistors never changes its output function, so its output
+// statistics are unchanged and the cone of a SetConfig collapses to the
+// gate itself (the Section 4.2 monotonic property); replacing a primary
+// input's statistics re-propagates only the nets that actually move.
+//
+// The engine is what makes the optimizer's inner loop cheap — one gate-model
+// evaluation per accepted move instead of a whole-circuit re-analysis — and
+// what the sweep harness leans on when it revisits the same circuit under
+// many input scenarios.
+//
+// An Incremental holds a reference to the circuit it was built from and
+// mutates that circuit's instances through SetConfig. It is not safe for
+// concurrent use; give each worker its own.
+type Incremental struct {
+	c   *circuit.Circuit
+	prm Params
+
+	order  []*circuit.Instance // topological order, fixed at construction
+	pos    map[string]int      // instance name → index in order
+	reader map[string][]int    // net → positions of the gates reading it
+	load   []float64           // output load per position
+
+	stats  map[string]stoch.Signal // current statistics per net
+	gates  []gateState             // per-position power bookkeeping
+	power  float64                 // running total, watts
+	intern float64                 // running internal-node total
+	outp   float64                 // running output-node total
+
+	frontier   posHeap
+	inFrontier []bool
+
+	recomputed int // gate-model evaluations since construction (diagnostics)
+}
+
+type gateState struct {
+	power, intern, outp float64
+}
+
+// posHeap is a min-heap of topological positions: the propagation frontier.
+type posHeap []int
+
+func (h posHeap) Len() int            { return len(h) }
+func (h posHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h posHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *posHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *posHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewIncremental analyzes the circuit in full once and returns an engine
+// positioned at that state. pi must cover every primary input. The circuit
+// must not be structurally modified (nets, pins, instances) while the
+// engine is live; configurations must change only through SetConfig.
+func NewIncremental(c *circuit.Circuit, pi map[string]stoch.Signal, prm Params) (*Incremental, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	fanout := c.Fanout()
+	inc := &Incremental{
+		c:          c,
+		prm:        prm,
+		order:      order,
+		pos:        make(map[string]int, len(order)),
+		reader:     make(map[string][]int),
+		load:       make([]float64, len(order)),
+		stats:      make(map[string]stoch.Signal, len(pi)+len(order)),
+		gates:      make([]gateState, len(order)),
+		inFrontier: make([]bool, len(order)),
+	}
+	for i, g := range order {
+		inc.pos[g.Name] = i
+		inc.load[i] = prm.OutputLoad(fanout[g.Out])
+	}
+	for i, g := range order {
+		for _, p := range g.Pins {
+			inc.reader[p] = append(inc.reader[p], i)
+		}
+	}
+	for _, in := range c.Inputs {
+		s, ok := pi[in]
+		if !ok {
+			return nil, fmt.Errorf("core: missing statistics for input %q", in)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("core: input %q: %w", in, err)
+		}
+		inc.stats[in] = s
+	}
+	for i := range order {
+		if err := inc.evalGate(i); err != nil {
+			return nil, err
+		}
+	}
+	// The initial pass visits every gate in topological order already; the
+	// reader-dirtying it did along the way is redundant, so start mutations
+	// from an empty frontier.
+	inc.frontier = inc.frontier[:0]
+	for i := range inc.inFrontier {
+		inc.inFrontier[i] = false
+	}
+	return inc, nil
+}
+
+// evalGate re-evaluates the gate model at position i against the current
+// statistics, applies the power delta, and returns whether the gate's
+// output statistics changed.
+func (inc *Incremental) evalGate(i int) error {
+	g := inc.order[i]
+	in := make([]stoch.Signal, len(g.Pins))
+	for k, p := range g.Pins {
+		s, ok := inc.stats[p]
+		if !ok {
+			return fmt.Errorf("core: instance %s reads unannotated net %q", g.Name, p)
+		}
+		in[k] = s
+	}
+	a, err := AnalyzeGate(g.Cell, in, inc.load[i], inc.prm)
+	if err != nil {
+		return fmt.Errorf("core: instance %s: %w", g.Name, err)
+	}
+	inc.recomputed++
+	old := inc.gates[i]
+	inc.power += a.Power - old.power
+	inc.intern += a.InternalPower - old.intern
+	inc.outp += a.OutputPower - old.outp
+	inc.gates[i] = gateState{power: a.Power, intern: a.InternalPower, outp: a.OutputPower}
+	if prev, ok := inc.stats[g.Out]; !ok || prev != a.Out {
+		inc.stats[g.Out] = a.Out
+		inc.dirtyReaders(g.Out)
+	}
+	return nil
+}
+
+// dirtyReaders pushes every gate reading the net onto the frontier.
+func (inc *Incremental) dirtyReaders(net string) {
+	for _, r := range inc.reader[net] {
+		if !inc.inFrontier[r] {
+			inc.inFrontier[r] = true
+			heap.Push(&inc.frontier, r)
+		}
+	}
+}
+
+// propagate drains the frontier in topological order. Each gate is
+// re-evaluated at most once per call because positions are popped in
+// increasing order and a gate's inputs can only be dirtied by gates at
+// strictly smaller positions.
+func (inc *Incremental) propagate() error {
+	for inc.frontier.Len() > 0 {
+		i := heap.Pop(&inc.frontier).(int)
+		inc.inFrontier[i] = false
+		if err := inc.evalGate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetConfig replaces the named instance's cell configuration and
+// re-evaluates its fan-out cone. The new configuration must be a
+// reordering of the same cell: identical pin names in identical order.
+func (inc *Incremental) SetConfig(name string, cfg *gate.Gate) error {
+	i, ok := inc.pos[name]
+	if !ok {
+		return fmt.Errorf("core: no instance %q", name)
+	}
+	g := inc.order[i]
+	if len(cfg.Inputs) != len(g.Cell.Inputs) {
+		return fmt.Errorf("core: instance %s: config %s has %d inputs, cell %s has %d",
+			name, cfg.Name, len(cfg.Inputs), g.Cell.Name, len(g.Cell.Inputs))
+	}
+	for k := range cfg.Inputs {
+		if cfg.Inputs[k] != g.Cell.Inputs[k] {
+			return fmt.Errorf("core: instance %s: config pin %d is %q, cell pin is %q",
+				name, k, cfg.Inputs[k], g.Cell.Inputs[k])
+		}
+	}
+	if cfg.ShapeKey() != g.Cell.ShapeKey() {
+		return fmt.Errorf("core: instance %s: config %s is not a reordering of cell %s",
+			name, cfg.Name, g.Cell.Name)
+	}
+	g.Cell = cfg
+	if !inc.inFrontier[i] {
+		inc.inFrontier[i] = true
+		heap.Push(&inc.frontier, i)
+	}
+	return inc.propagate()
+}
+
+// SetInputs replaces the primary-input statistics and re-evaluates only
+// the cones of the inputs that actually changed. pi must cover every
+// primary input (unchanged entries are cheap: they seed no frontier).
+func (inc *Incremental) SetInputs(pi map[string]stoch.Signal) error {
+	for _, in := range inc.c.Inputs {
+		s, ok := pi[in]
+		if !ok {
+			return fmt.Errorf("core: missing statistics for input %q", in)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("core: input %q: %w", in, err)
+		}
+		if inc.stats[in] != s {
+			inc.stats[in] = s
+			inc.dirtyReaders(in)
+		}
+	}
+	return inc.propagate()
+}
+
+// Circuit returns the circuit the engine mutates through SetConfig.
+func (inc *Incremental) Circuit() *circuit.Circuit { return inc.c }
+
+// Order returns the engine's topological gate order, computed once at
+// construction. Callers must not modify the returned slice.
+func (inc *Incremental) Order() []*circuit.Instance { return inc.order }
+
+// Load returns the output-load capacitance of the named instance.
+func (inc *Incremental) Load(name string) (float64, bool) {
+	i, ok := inc.pos[name]
+	if !ok {
+		return 0, false
+	}
+	return inc.load[i], true
+}
+
+// Power returns the current total model power in watts.
+func (inc *Incremental) Power() float64 { return inc.power }
+
+// InternalPower returns the current power at internal gate nodes.
+func (inc *Incremental) InternalPower() float64 { return inc.intern }
+
+// OutputPower returns the current power at gate output nodes.
+func (inc *Incremental) OutputPower() float64 { return inc.outp }
+
+// NetSignal returns the current statistics of a net.
+func (inc *Incremental) NetSignal(net string) (stoch.Signal, bool) {
+	s, ok := inc.stats[net]
+	return s, ok
+}
+
+// GatePower returns the current model power of one instance.
+func (inc *Incremental) GatePower(name string) (float64, bool) {
+	i, ok := inc.pos[name]
+	if !ok {
+		return 0, false
+	}
+	return inc.gates[i].power, true
+}
+
+// Recomputed returns the number of gate-model evaluations performed since
+// construction, including the initial full analysis — the quantity the
+// incremental engine exists to minimize.
+func (inc *Incremental) Recomputed() int { return inc.recomputed }
+
+// Analysis snapshots the current state as a CircuitAnalysis, matching what
+// AnalyzeCircuit would return on the current circuit and statistics (totals
+// agree up to floating-point summation order).
+func (inc *Incremental) Analysis() *CircuitAnalysis {
+	res := &CircuitAnalysis{
+		Power:         inc.power,
+		InternalPower: inc.intern,
+		OutputPower:   inc.outp,
+		PerGate:       make(map[string]float64, len(inc.order)),
+		NetStats:      make(map[string]stoch.Signal, len(inc.stats)),
+	}
+	for i, g := range inc.order {
+		res.PerGate[g.Name] = inc.gates[i].power
+	}
+	for net, s := range inc.stats {
+		res.NetStats[net] = s
+	}
+	return res
+}

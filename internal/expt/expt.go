@@ -223,10 +223,25 @@ func RunCircuit(c *circuit.Circuit, sc Scenario, opt Options) (Table3Row, error)
 	if worst.PowerAfter > 0 {
 		row.ModelRed = (worst.PowerAfter - best.PowerAfter) / worst.PowerAfter
 	}
-	// Switch-level simulation under identical stimulus.
-	rng := rand.New(rand.NewSource(opt.Seed ^ int64(len(c.Gates))))
+	row.SimRed, err = SimReduction(c, best.Circuit, worst.Circuit, pi, sc, opt.Seed^int64(len(c.Gates)), opt)
+	if err != nil {
+		return row, err
+	}
+	row.DelayInc, err = DelayIncrease(c, best.Circuit, opt.Delay)
+	if err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// SimReduction measures the switch-level-simulated best-vs-worst power
+// reduction (Table 3's S column): both circuits simulated under identical
+// scenario-appropriate stimulus drawn deterministically from seed.
+func SimReduction(c, best, worst *circuit.Circuit, pi map[string]stoch.Signal, sc Scenario, seed int64, opt Options) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
 	var waves map[string]*stoch.Waveform
 	var horizon float64
+	var err error
 	switch sc {
 	case ScenarioA:
 		horizon = opt.HorizonA
@@ -240,27 +255,27 @@ func RunCircuit(c *circuit.Circuit, sc Scenario, opt Options) (Table3Row, error)
 		waves, err = sim.GenerateClockedWaveforms(c.Inputs, perCycle, opt.CyclesB, opt.PeriodB, rng)
 	}
 	if err != nil {
-		return row, err
+		return 0, err
 	}
-	simRed, _, _, err := sim.MeasureReduction(best.Circuit, worst.Circuit, waves, horizon, opt.Sim)
+	red, _, _, err := sim.MeasureReduction(best, worst, waves, horizon, opt.Sim)
+	return red, err
+}
+
+// DelayIncrease returns the relative critical-path change from before to
+// after (Table 3's D column).
+func DelayIncrease(before, after *circuit.Circuit, prm delay.Params) (float64, error) {
+	d0, err := delay.CircuitDelay(before, prm)
 	if err != nil {
-		return row, err
+		return 0, err
 	}
-	row.SimRed = simRed
-	// Delay increase of the power-optimal circuit versus the original
-	// mapping.
-	d0, err := delay.CircuitDelay(c, opt.Delay)
+	d1, err := delay.CircuitDelay(after, prm)
 	if err != nil {
-		return row, err
+		return 0, err
 	}
-	d1, err := delay.CircuitDelay(best.Circuit, opt.Delay)
-	if err != nil {
-		return row, err
+	if d0.Delay == 0 {
+		return 0, nil
 	}
-	if d0.Delay > 0 {
-		row.DelayInc = (d1.Delay - d0.Delay) / d0.Delay
-	}
-	return row, nil
+	return (d1.Delay - d0.Delay) / d0.Delay, nil
 }
 
 // Run sweeps the named benchmarks (all of Table 3 when names is empty),

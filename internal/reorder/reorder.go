@@ -6,6 +6,15 @@
 // Section 4.2 — every configuration of a gate propagates identical output
 // statistics — makes the greedy single pass optimal under the model; a
 // second pass is a no-op (asserted by tests and an ablation bench).
+//
+// The traversal runs on top of core.Incremental, the fan-out-cone
+// propagation engine: accepted moves update the circuit's power through
+// Incremental.SetConfig, and because reordering preserves each gate's
+// output statistics the cone collapses to the reordered gate itself.
+// Optimize therefore performs one full circuit analysis (the engine's
+// construction, which yields PowerBefore) plus per-gate local work: one
+// gate-model evaluation per candidate configuration and one more inside
+// the engine per accepted move — no closing whole-circuit re-analysis.
 package reorder
 
 import (
@@ -113,53 +122,42 @@ func Optimize(c *circuit.Circuit, pi map[string]stoch.Signal, opt Options) (*Rep
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	before, err := core.AnalyzeCircuit(c, pi, opt.Params)
-	if err != nil {
-		return nil, err
-	}
 	out := c.Clone()
-	fanout := out.Fanout()
-	order, err := out.TopoOrder()
+	inc, err := core.NewIncremental(out, pi, opt.Params)
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{Circuit: out, PowerBefore: before.Power}
+	report := &Report{Circuit: out, PowerBefore: inc.Power()}
 
-	stats := map[string]stoch.Signal{}
 	arr := map[string]float64{}
 	for _, in := range out.Inputs {
-		s, ok := pi[in]
-		if !ok {
-			return nil, fmt.Errorf("reorder: missing statistics for input %q", in)
-		}
-		stats[in] = s
 		arr[in] = 0
 	}
-	for _, g := range order {
+	for _, g := range inc.Order() {
 		in := make([]stoch.Signal, len(g.Pins))
 		arrIn := make([]float64, len(g.Pins))
 		for i, p := range g.Pins {
-			s, ok := stats[p]
+			s, ok := inc.NetSignal(p)
 			if !ok {
 				return nil, fmt.Errorf("reorder: instance %s reads unannotated net %q", g.Name, p)
 			}
 			in[i] = s
 			arrIn[i] = arr[p]
 		}
-		load := opt.Params.OutputLoad(fanout[g.Out])
+		load, _ := inc.Load(g.Name)
 		chosen, err := chooseConfig(g.Cell, in, arrIn, load, opt)
 		if err != nil {
 			return nil, fmt.Errorf("reorder: instance %s: %w", g.Name, err)
 		}
 		if chosen.ConfigKey() != g.Cell.ConfigKey() {
 			report.GatesChanged++
-			g.Cell = chosen
+			// Reordering preserves the gate's boolean function, so the
+			// engine's cone re-evaluation stops at this gate: one model
+			// evaluation per accepted move instead of a circuit re-analysis.
+			if err := inc.SetConfig(g.Name, chosen); err != nil {
+				return nil, fmt.Errorf("reorder: instance %s: %w", g.Name, err)
+			}
 		}
-		outStats, err := core.OutputStats(g.Cell, in)
-		if err != nil {
-			return nil, err
-		}
-		stats[g.Out] = outStats
 		if opt.Mode == DelayRule || opt.Mode == DelayNeutral {
 			a, err := gateArrival(g.Cell, arrIn, load, opt.Delay)
 			if err != nil {
@@ -168,11 +166,7 @@ func Optimize(c *circuit.Circuit, pi map[string]stoch.Signal, opt Options) (*Rep
 			arr[g.Out] = a
 		}
 	}
-	after, err := core.AnalyzeCircuit(out, pi, opt.Params)
-	if err != nil {
-		return nil, err
-	}
-	report.PowerAfter = after.Power
+	report.PowerAfter = inc.Power()
 	return report, nil
 }
 

@@ -1,0 +1,413 @@
+// Package sweep is the concurrent experiment engine: it fans
+// benchmark × scenario × mode × seed jobs across a bounded worker pool and
+// streams structured results as they complete. It generalizes the serial
+// Table 3 harness in internal/expt — one scenario, one mode, one seed —
+// to the full cross product the paper's Figure 6 compares, with:
+//
+//   - deterministic per-job seeding: every job's input statistics and
+//     simulation stimulus derive from a hash of (benchmark, scenario,
+//     mode, seed), so results are identical regardless of worker count or
+//     completion order;
+//   - a shared, duplicate-suppressed circuit cache: each benchmark is
+//     parsed and technology-mapped exactly once no matter how many jobs
+//     or workers touch it — circuits are read-only after loading
+//     (optimization clones), and per-job propagation state stays
+//     worker-local (the gate-configuration template cache in
+//     internal/core is shared process-wide already);
+//   - cancellation via context.Context: in-flight gates finish, queued
+//     jobs are abandoned, and Run returns ctx.Err();
+//   - streaming: each finished job is encoded as one JSON line to
+//     Options.Stream and/or handed to Options.OnResult, while Run's
+//     return value keeps the deterministic job order for the aggregate
+//     table.
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/expt"
+	"repro/internal/library"
+	"repro/internal/mcnc"
+	"repro/internal/reorder"
+)
+
+// Job identifies one cell of the sweep cross product.
+type Job struct {
+	Index     int           // position in the deterministic job order
+	Benchmark string        // mcnc benchmark name
+	Scenario  expt.Scenario // input-statistics regime (Fig. 6)
+	Mode      reorder.Mode  // optimizer search space
+	Seed      int64         // user-level seed (replicate index)
+}
+
+// EffectiveSeed mixes the job coordinates into the seed that drives the
+// job's randomness. Two different jobs never share an RNG stream, and the
+// same job always gets the same stream — the property that makes the
+// sweep deterministic under any worker count.
+func (j Job) EffectiveSeed() int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d", j.Benchmark, j.Scenario, j.Mode, j.Seed)
+	return int64(h.Sum64())
+}
+
+// Result is one finished job. It is self-describing (it repeats the job
+// coordinates) so a JSONL stream can be filtered and joined without
+// positional context.
+type Result struct {
+	Index      int     `json:"index"`
+	Benchmark  string  `json:"benchmark"`
+	Scenario   string  `json:"scenario"`
+	Mode       string  `json:"mode"`
+	Seed       int64   `json:"seed"`
+	Gates      int     `json:"gates"`
+	Changed    int     `json:"changed"`              // gates reconfigured by the minimizer
+	PowerBest  float64 `json:"power_best"`           // model watts, minimized
+	PowerWorst float64 `json:"power_worst"`          // model watts, maximized
+	ModelRed   float64 `json:"model_reduction"`      // M column of Table 3
+	SimRed     float64 `json:"sim_reduction"`        // S column (0 unless Simulate)
+	DelayInc   float64 `json:"delay_increase"`       // D column
+	ElapsedMS  float64 `json:"elapsed_ms,omitempty"` // wall time; not deterministic
+	Err        string  `json:"error,omitempty"`
+}
+
+// Options configures a sweep.
+type Options struct {
+	Benchmarks []string        // default: all Table 3 benchmarks
+	Scenarios  []expt.Scenario // default: {A, B}
+	Modes      []reorder.Mode  // default: {Full}
+	Seeds      []int64         // replicate seeds; default: {Expt.Seed}
+	Workers    int             // pool size; default: GOMAXPROCS
+	Simulate   bool            // also measure by switch-level simulation (S column)
+	Expt       expt.Options    // electrical constants, horizons, library
+
+	Stream   io.Writer    // optional: one JSON object per finished job
+	OnResult func(Result) // optional: called per finished job (serialized)
+}
+
+// DefaultOptions returns the paper's sweep: every Table 3 benchmark under
+// both scenarios, full reordering, simulation on.
+func DefaultOptions() Options {
+	return Options{
+		Scenarios: []expt.Scenario{expt.ScenarioA, expt.ScenarioB},
+		Modes:     []reorder.Mode{reorder.Full},
+		Workers:   runtime.GOMAXPROCS(0),
+		Simulate:  true,
+		Expt:      expt.DefaultOptions(),
+	}
+}
+
+// Jobs expands the cross product in deterministic order: benchmarks
+// outermost, then scenarios, modes, seeds.
+func Jobs(opt Options) []Job {
+	benches := opt.Benchmarks
+	if len(benches) == 0 {
+		benches = mcnc.Names()
+	}
+	scenarios := opt.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = []expt.Scenario{expt.ScenarioA, expt.ScenarioB}
+	}
+	modes := opt.Modes
+	if len(modes) == 0 {
+		modes = []reorder.Mode{reorder.Full}
+	}
+	seeds := opt.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{opt.Expt.Seed}
+	}
+	jobs := make([]Job, 0, len(benches)*len(scenarios)*len(modes)*len(seeds))
+	for _, b := range benches {
+		for _, sc := range scenarios {
+			for _, m := range modes {
+				for _, s := range seeds {
+					jobs = append(jobs, Job{Index: len(jobs), Benchmark: b, Scenario: sc, Mode: m, Seed: s})
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// Aggregate is the mean of one scenario × mode slice of the sweep.
+type Aggregate struct {
+	Scenario string  `json:"scenario"`
+	Mode     string  `json:"mode"`
+	Rows     int     `json:"rows"`
+	ModelRed float64 `json:"model_reduction"`
+	SimRed   float64 `json:"sim_reduction"`
+	DelayInc float64 `json:"delay_increase"`
+}
+
+// Summary is a completed sweep: per-job results in deterministic job
+// order plus scenario × mode aggregates.
+type Summary struct {
+	Results    []Result
+	Aggregates []Aggregate
+	Failed     int // jobs that recorded an error
+}
+
+// Run executes the sweep. It returns once every job has finished, or
+// early with ctx.Err() on cancellation (results already streamed stand).
+// Per-job failures do not abort the sweep; they are recorded in
+// Result.Err and counted in Summary.Failed.
+func Run(ctx context.Context, opt Options) (*Summary, error) {
+	jobs := Jobs(opt)
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if opt.Expt.Lib == nil {
+		opt.Expt.Lib = library.Default()
+	}
+
+	// A streaming failure cancels the rest of the sweep: there is no
+	// point simulating jobs whose results can no longer be written.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(jobs))
+	var emitMu sync.Mutex
+	var emitErr error
+	var enc *json.Encoder
+	if opt.Stream != nil {
+		enc = json.NewEncoder(opt.Stream)
+	}
+	emit := func(r Result) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if enc != nil && emitErr == nil {
+			if err := enc.Encode(r); err != nil {
+				emitErr = fmt.Errorf("sweep: streaming result %d: %w", r.Index, err)
+				cancel()
+			}
+		}
+		if opt.OnResult != nil {
+			opt.OnResult(r)
+		}
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	cache := newCircuitCache()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without working; Run reports the cause
+				}
+				results[i] = runJob(jobs[i], cache, opt)
+				emit(results[i])
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if emitErr != nil {
+		return nil, emitErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	s := &Summary{Results: results}
+	s.aggregate(opt)
+	return s, nil
+}
+
+// aggregate folds the per-job results into scenario × mode means, in the
+// order the options enumerate them.
+func (s *Summary) aggregate(opt Options) {
+	type key struct{ sc, mode string }
+	idx := map[key]int{}
+	for _, r := range s.Results {
+		if r.Err != "" {
+			s.Failed++
+			continue
+		}
+		k := key{r.Scenario, r.Mode}
+		i, ok := idx[k]
+		if !ok {
+			i = len(s.Aggregates)
+			idx[k] = i
+			s.Aggregates = append(s.Aggregates, Aggregate{Scenario: r.Scenario, Mode: r.Mode})
+		}
+		a := &s.Aggregates[i]
+		a.Rows++
+		a.ModelRed += r.ModelRed
+		a.SimRed += r.SimRed
+		a.DelayInc += r.DelayInc
+	}
+	for i := range s.Aggregates {
+		a := &s.Aggregates[i]
+		if a.Rows > 0 {
+			a.ModelRed /= float64(a.Rows)
+			a.SimRed /= float64(a.Rows)
+			a.DelayInc /= float64(a.Rows)
+		}
+	}
+}
+
+// circuitCache loads each benchmark at most once across the pool.
+// Loading (BLIF parse or synthesis + technology mapping) dominates small
+// jobs; the loaded circuit is read-only thereafter — every consumer that
+// mutates works on a clone — so sharing one copy is safe. A per-name
+// sync.Once suppresses duplicate loads when several workers request the
+// same benchmark concurrently without serializing loads of different
+// benchmarks.
+type circuitCache struct {
+	mu sync.Mutex
+	m  map[string]*circuitEntry
+}
+
+type circuitEntry struct {
+	once sync.Once
+	c    *circuit.Circuit
+	err  error
+}
+
+func newCircuitCache() *circuitCache {
+	return &circuitCache{m: map[string]*circuitEntry{}}
+}
+
+func (cc *circuitCache) load(name string, lib *library.Library) (*circuit.Circuit, error) {
+	cc.mu.Lock()
+	e, ok := cc.m[name]
+	if !ok {
+		e = &circuitEntry{}
+		cc.m[name] = e
+	}
+	cc.mu.Unlock()
+	e.once.Do(func() { e.c, e.err = mcnc.Load(name, lib) })
+	return e.c, e.err
+}
+
+// runJob measures one cell of the cross product: best- and worst-power
+// reorderings under the job's mode, the model reduction between them,
+// optionally the switch-level-simulated reduction under identical
+// stimulus, and the delay increase of the power-optimal circuit.
+func runJob(job Job, cache *circuitCache, opt Options) Result {
+	start := time.Now()
+	res := Result{
+		Index:     job.Index,
+		Benchmark: job.Benchmark,
+		Scenario:  job.Scenario.String(),
+		Mode:      job.Mode.String(),
+		Seed:      job.Seed,
+	}
+	fail := func(err error) Result {
+		res.Err = err.Error()
+		res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+		return res
+	}
+	c, err := cache.load(job.Benchmark, opt.Expt.Lib)
+	if err != nil {
+		return fail(err)
+	}
+	res.Gates = len(c.Gates)
+
+	eo := opt.Expt
+	eo.Seed = job.EffectiveSeed()
+	pi := expt.InputStats(c, job.Scenario, eo)
+
+	ro := reorder.DefaultOptions()
+	ro.Mode = job.Mode
+	ro.Params = eo.Params
+	ro.Delay = eo.Delay
+	best, worst, err := reorder.BestAndWorst(c, pi, ro)
+	if err != nil {
+		return fail(err)
+	}
+	res.Changed = best.GatesChanged
+	res.PowerBest = best.PowerAfter
+	res.PowerWorst = worst.PowerAfter
+	if worst.PowerAfter > 0 {
+		res.ModelRed = (worst.PowerAfter - best.PowerAfter) / worst.PowerAfter
+	}
+
+	if opt.Simulate {
+		res.SimRed, err = expt.SimReduction(c, best.Circuit, worst.Circuit, pi, job.Scenario, eo.Seed, eo)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	res.DelayInc, err = expt.DelayIncrease(c, best.Circuit, eo.Delay)
+	if err != nil {
+		return fail(err)
+	}
+	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	return res
+}
+
+// ParseScenario resolves a scenario name ("A" or "B", case-insensitive).
+func ParseScenario(s string) (expt.Scenario, error) {
+	switch s {
+	case "A", "a":
+		return expt.ScenarioA, nil
+	case "B", "b":
+		return expt.ScenarioB, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown scenario %q (want A or B)", s)
+}
+
+// ParseMode resolves a mode name as printed by reorder.Mode.String.
+func ParseMode(s string) (reorder.Mode, error) {
+	for _, m := range []reorder.Mode{reorder.Full, reorder.InputOnly, reorder.DelayRule, reorder.DelayNeutral} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown mode %q (want full, input-only, delay-rule or delay-neutral)", s)
+}
+
+// Table renders the per-job results as an aligned text table.
+func (s *Summary) Table() string {
+	header := []string{"circuit", "sc", "mode", "seed", "G", "chg", "M", "S", "D", "err"}
+	rows := make([][]string, 0, len(s.Results))
+	for _, r := range s.Results {
+		rows = append(rows, []string{
+			r.Benchmark, r.Scenario, r.Mode, fmt.Sprint(r.Seed),
+			fmt.Sprint(r.Gates), fmt.Sprint(r.Changed),
+			fmt.Sprintf("%.1f%%", 100*r.ModelRed),
+			fmt.Sprintf("%.1f%%", 100*r.SimRed),
+			fmt.Sprintf("%+.1f%%", 100*r.DelayInc),
+			r.Err,
+		})
+	}
+	return expt.FormatTable(header, rows)
+}
+
+// AggregateTable renders the scenario × mode means.
+func (s *Summary) AggregateTable() string {
+	header := []string{"scenario", "mode", "rows", "M", "S", "D"}
+	rows := make([][]string, 0, len(s.Aggregates))
+	for _, a := range s.Aggregates {
+		rows = append(rows, []string{
+			a.Scenario, a.Mode, fmt.Sprint(a.Rows),
+			fmt.Sprintf("%.1f%%", 100*a.ModelRed),
+			fmt.Sprintf("%.1f%%", 100*a.SimRed),
+			fmt.Sprintf("%+.1f%%", 100*a.DelayInc),
+		})
+	}
+	return expt.FormatTable(header, rows)
+}

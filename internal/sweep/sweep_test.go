@@ -1,0 +1,211 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/expt"
+	"repro/internal/reorder"
+)
+
+// smallOptions keeps the sweep fast enough for -race: two real (embedded)
+// benchmarks, short horizons.
+func smallOptions() Options {
+	opt := DefaultOptions()
+	opt.Benchmarks = []string{"c17", "rca4"}
+	opt.Scenarios = []expt.Scenario{expt.ScenarioA, expt.ScenarioB}
+	opt.Modes = []reorder.Mode{reorder.Full, reorder.InputOnly}
+	opt.Seeds = []int64{1, 2}
+	opt.Simulate = true
+	opt.Expt.HorizonA = 5e-5
+	opt.Expt.CyclesB = 200
+	return opt
+}
+
+// stripTiming zeroes the wall-clock field, the only legitimately
+// nondeterministic part of a result.
+func stripTiming(rs []Result) []Result {
+	out := append([]Result(nil), rs...)
+	for i := range out {
+		out[i].ElapsedMS = 0
+	}
+	return out
+}
+
+// TestRunDeterministicAcrossWorkers is both the determinism check and the
+// worker-pool race test: under `go test -race` the 8-worker run exercises
+// the pool's sharing, and its results must equal the sequential run
+// field-for-field.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	opt := smallOptions()
+	opt.Workers = 1
+	seq, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Results) != 16 {
+		t.Fatalf("expected 16 jobs, got %d", len(seq.Results))
+	}
+	if seq.Failed != 0 {
+		t.Fatalf("sequential run failed %d jobs: %+v", seq.Failed, seq.Results)
+	}
+	opt = smallOptions()
+	opt.Workers = 8
+	par, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTiming(seq.Results), stripTiming(par.Results)) {
+		t.Fatalf("parallel results differ from sequential:\nseq: %+v\npar: %+v", seq.Results, par.Results)
+	}
+	if !reflect.DeepEqual(seq.Aggregates, par.Aggregates) {
+		t.Fatalf("aggregates differ:\nseq: %+v\npar: %+v", seq.Aggregates, par.Aggregates)
+	}
+}
+
+// TestRunStreamsJSONL checks that every job is emitted exactly once as a
+// parseable JSON line and that OnResult sees the same set, even with the
+// pool racing on the shared encoder.
+func TestRunStreamsJSONL(t *testing.T) {
+	opt := smallOptions()
+	opt.Workers = 4
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	opt.Stream = &buf
+	opt.OnResult = func(r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[r.Index] {
+			t.Errorf("result %d delivered twice", r.Index)
+		}
+		seen[r.Index] = true
+	}
+	s, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(s.Results) {
+		t.Fatalf("OnResult saw %d results, want %d", len(seen), len(s.Results))
+	}
+	var indices []int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		indices = append(indices, r.Index)
+	}
+	sort.Ints(indices)
+	if len(indices) != len(s.Results) {
+		t.Fatalf("stream has %d lines, want %d", len(indices), len(s.Results))
+	}
+	for i, idx := range indices {
+		if i != idx {
+			t.Fatalf("stream indices %v are not a permutation of the job order", indices)
+		}
+	}
+}
+
+// TestRunCancellation: a pre-canceled context aborts before doing work.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := smallOptions()
+	if _, err := Run(ctx, opt); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestRunRecordsPerJobErrors: an unknown benchmark fails its own jobs
+// without aborting the sweep.
+func TestRunRecordsPerJobErrors(t *testing.T) {
+	opt := smallOptions()
+	opt.Benchmarks = []string{"c17", "no-such-benchmark"}
+	opt.Modes = []reorder.Mode{reorder.Full}
+	opt.Seeds = []int64{1}
+	opt.Workers = 2
+	s, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failed != 2 { // two scenarios of the bad benchmark
+		t.Fatalf("Failed = %d, want 2", s.Failed)
+	}
+	for _, r := range s.Results {
+		if r.Benchmark == "no-such-benchmark" && r.Err == "" {
+			t.Fatalf("job %d on bad benchmark reported no error", r.Index)
+		}
+		if r.Benchmark == "c17" && r.Err != "" {
+			t.Fatalf("good job %d failed: %s", r.Index, r.Err)
+		}
+	}
+}
+
+// TestEffectiveSeedsDistinct: no two jobs of a realistic sweep share an
+// RNG stream.
+func TestEffectiveSeedsDistinct(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Modes = []reorder.Mode{reorder.Full, reorder.InputOnly, reorder.DelayRule, reorder.DelayNeutral}
+	opt.Seeds = []int64{1, 2, 3}
+	jobs := Jobs(opt)
+	seen := map[int64]Job{}
+	for _, j := range jobs {
+		s := j.EffectiveSeed()
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("jobs %+v and %+v share effective seed %d", prev, j, s)
+		}
+		seen[s] = j
+	}
+}
+
+// TestDelayNeutralModeNeverSlower: sweeping the delay-neutral mode must
+// report no delay increase anywhere, by construction.
+func TestDelayNeutralModeNeverSlower(t *testing.T) {
+	opt := smallOptions()
+	opt.Modes = []reorder.Mode{reorder.DelayNeutral}
+	opt.Seeds = []int64{1}
+	opt.Simulate = false
+	opt.Workers = 2
+	s, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.Results {
+		if r.Err != "" {
+			t.Fatalf("job %d failed: %s", r.Index, r.Err)
+		}
+		if r.DelayInc > 1e-9 {
+			t.Fatalf("delay-neutral job %d slowed %s by %.3g", r.Index, r.Benchmark, r.DelayInc)
+		}
+	}
+}
+
+// TestParseHelpers round-trips every mode and scenario name.
+func TestParseHelpers(t *testing.T) {
+	for _, m := range []reorder.Mode{reorder.Full, reorder.InputOnly, reorder.DelayRule, reorder.DelayNeutral} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode accepted bogus")
+	}
+	for _, sc := range []expt.Scenario{expt.ScenarioA, expt.ScenarioB} {
+		got, err := ParseScenario(sc.String())
+		if err != nil || got != sc {
+			t.Fatalf("ParseScenario(%q) = %v, %v", sc.String(), got, err)
+		}
+	}
+	if _, err := ParseScenario("C"); err == nil {
+		t.Fatal("ParseScenario accepted C")
+	}
+}
