@@ -41,6 +41,18 @@ type (
 	SimParams = sim.Params
 	// SimResult is a switch-level measurement.
 	SimResult = sim.Result
+	// SimEngine selects the simulation backend: event-driven or compiled
+	// bit-parallel.
+	SimEngine = sim.Engine
+	// SimProgram is a circuit compiled for the bit-parallel engine (flat
+	// levelized word-op array; immutable, safe for concurrent runs).
+	SimProgram = sim.Program
+	// BitSimResult is a bit-parallel measurement: totals across lanes
+	// plus optional per-lane breakdowns.
+	BitSimResult = sim.BitResult
+	// PackedStimulus is a bit-packed Monte Carlo stimulus: up to 64
+	// independent input-vector sequences, one per bit lane.
+	PackedStimulus = stoch.PackedStimulus
 	// DelayParams holds the RC constants of the timing model.
 	DelayParams = delay.Params
 	// TimingResult is a static timing analysis.
@@ -71,6 +83,18 @@ const (
 	ModeDelayRule    = reorder.DelayRule
 	ModeDelayNeutral = reorder.DelayNeutral
 )
+
+// Simulation engines (see sim.Engine). The event-driven engine is the
+// reference for unit- and Elmore-delay (glitch) studies; the bit-parallel
+// engine compiles the circuit once and evaluates 64 Monte Carlo vectors
+// per machine word in zero-delay mode.
+const (
+	EngineEventDriven = sim.EventDriven
+	EngineBitParallel = sim.BitParallel
+)
+
+// MaxSimVectors is the lane capacity of one packed bit-parallel run.
+const MaxSimVectors = stoch.MaxLanes
 
 // DefaultLibrary returns the paper's Table 2 cell library.
 func DefaultLibrary() *Library { return library.Default() }
@@ -142,7 +166,8 @@ func BestAndWorst(c *Circuit, pi map[string]Signal, opt OptimizeOptions) (best, 
 }
 
 // Simulate measures power by switch-level simulation under exponential
-// input waveforms realizing the given statistics.
+// input waveforms realizing the given statistics. prm.Engine selects the
+// backend; the bit-parallel engine requires zero-delay mode.
 func Simulate(c *Circuit, pi map[string]Signal, horizon float64, seed int64, prm SimParams) (*SimResult, error) {
 	rng := newRand(seed)
 	waves, err := sim.GenerateWaveforms(c.Inputs, pi, horizon, rng)
@@ -150,6 +175,26 @@ func Simulate(c *Circuit, pi map[string]Signal, horizon float64, seed int64, prm
 		return nil, err
 	}
 	return sim.Run(c, waves, horizon, prm)
+}
+
+// SimulateVectors measures power on the compiled bit-parallel engine:
+// vectors (1..MaxSimVectors) independent Monte Carlo stimulus streams
+// packed into bit lanes and evaluated in one pass. prm.Mode must be
+// zero-delay. The result's Power is the mean per-lane power.
+func SimulateVectors(c *Circuit, pi map[string]Signal, horizon float64, vectors int, seed int64, prm SimParams) (*BitSimResult, error) {
+	rng := newRand(seed)
+	stim, err := sim.GeneratePackedWaveforms(c.Inputs, pi, horizon, vectors, rng)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunPacked(c, stim, prm)
+}
+
+// CompileSimulation lowers the circuit into the bit-parallel engine's
+// flat word-op program. Compile once, then Run many packed stimuli —
+// concurrent runs on one program are safe.
+func CompileSimulation(c *Circuit, prm SimParams) (*SimProgram, error) {
+	return sim.Compile(c, prm)
 }
 
 // CircuitDelay runs static timing analysis with the Elmore stack model.

@@ -515,6 +515,60 @@ func BenchmarkIncrementalVsFull(b *testing.B) {
 	})
 }
 
+// BenchmarkBitParallelVsEvent measures the PR-2 tentpole claim on the
+// largest embedded benchmark: zero-delay Monte Carlo power measurement on
+// the compiled bit-parallel engine (64 vectors per word, compile once)
+// versus the event-driven engine (one vector per run), identical stimulus
+// statistics. Compare the two vectors/sec metrics: the compiled engine
+// must sustain ≥ 20× the event engine's throughput.
+func BenchmarkBitParallelVsEvent(b *testing.B) {
+	lib := repro.DefaultLibrary()
+	c := largestEmbedded(b, lib)
+	stats := repro.UniformInputs(c, 0.5, 2e5)
+	const horizon = 2e-4
+	prm := sim.DefaultParams()
+	prm.Mode = sim.ZeroDelay
+	b.Logf("benchmark %s: %d gates", c.Name, len(c.Gates))
+
+	// Pregenerate the stimulus outside the timed region for both engines:
+	// the comparison is simulation throughput, not waveform drawing.
+	rng := rand.New(rand.NewSource(64))
+	laneWaves := make([]map[string]*stoch.Waveform, 64)
+	for l := range laneWaves {
+		w, err := sim.GenerateWaveforms(c.Inputs, stats, horizon, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		laneWaves[l] = w
+	}
+	stim, err := stoch.PackWaveforms(c.Inputs, laneWaves, horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("event", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(c, laneWaves[i%len(laneWaves)], horizon, prm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "vectors/sec")
+	})
+	b.Run("bitparallel", func(b *testing.B) {
+		prog, err := sim.Compile(c, prm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.Run(stim); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(stim.Lanes)/b.Elapsed().Seconds(), "vectors/sec")
+	})
+}
+
 // BenchmarkSweepWorkers measures the sweep engine's scaling: the same
 // model-only job set under 1 worker and under GOMAXPROCS workers.
 func BenchmarkSweepWorkers(b *testing.B) {

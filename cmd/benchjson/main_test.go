@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.10GHz
+BenchmarkBitParallelVsEvent/event-8         	     356	   3034617 ns/op	       329.5 vectors/sec
+    bench_test.go:1: benchmark bcd7seg: 40 gates
+BenchmarkBitParallelVsEvent/bitparallel-8   	     420	   2842007 ns/op	     22519 vectors/sec
+PASS
+ok  	repro	2.972s
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.Pkg != "repro" || rep.CPU != "Example CPU @ 2.10GHz" {
+		t.Errorf("envelope wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkBitParallelVsEvent/bitparallel-8" || b.Iterations != 420 {
+		t.Errorf("benchmark line wrong: %+v", b)
+	}
+	if b.Metrics["vectors/sec"] != 22519 || b.Metrics["ns/op"] != 2842007 {
+		t.Errorf("metrics wrong: %v", b.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n"))); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX", "BenchmarkX 12", "BenchmarkX twelve 3 ns/op", "BenchmarkX 1 nan-unit",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("malformed line %q parsed", line)
+		}
+	}
+}

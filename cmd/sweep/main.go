@@ -25,6 +25,8 @@ import (
 	"repro/internal/expt"
 	"repro/internal/mcnc"
 	"repro/internal/reorder"
+	"repro/internal/sim"
+	"repro/internal/stoch"
 	"repro/internal/sweep"
 )
 
@@ -46,6 +48,8 @@ func run() error {
 		jsonl     = flag.String("jsonl", "", "stream one JSON object per finished job to this file ('-' for stdout)")
 		horizon   = flag.Float64("horizon", 0, "scenario A simulation horizon in seconds (0 = default)")
 		cycles    = flag.Int("cycles", 0, "scenario B simulated cycles (0 = default)")
+		delayMode = flag.String("delay", "unit", "simulation delay model: unit, elmore or zero (zero runs on the bit-parallel engine)")
+		vectors   = flag.Int("vectors", 0, "Monte Carlo vector lanes for zero-delay simulation, 1..64 (0 = 64)")
 		verbose   = flag.Bool("v", false, "print the per-job table, not only the aggregates")
 		list      = flag.Bool("list", false, "print the planned jobs and exit")
 	)
@@ -95,6 +99,25 @@ func run() error {
 	}
 	if *cycles > 0 {
 		opt.Expt.CyclesB = *cycles
+	}
+	switch *delayMode {
+	case "unit":
+		opt.Expt.Sim.Mode = sim.UnitDelay
+	case "elmore":
+		opt.Expt.Sim.Mode = sim.ElmoreDelay
+	case "zero":
+		opt.Expt.Sim.Mode = sim.ZeroDelay
+	default:
+		return fmt.Errorf("unknown -delay %q (want unit, elmore or zero)", *delayMode)
+	}
+	if *vectors != 0 {
+		if opt.Expt.Sim.Mode != sim.ZeroDelay {
+			return fmt.Errorf("-vectors applies to zero-delay (bit-parallel) simulation: pass -delay zero")
+		}
+		if *vectors < 1 || *vectors > stoch.MaxLanes {
+			return fmt.Errorf("-vectors %d out of [1,%d]", *vectors, stoch.MaxLanes)
+		}
+		opt.Expt.SimVectors = *vectors
 	}
 
 	jobs := sweep.Jobs(opt)

@@ -2,9 +2,14 @@
 // simulation (the reproduction's SLS stand-in): exponential input
 // waveforms, transistor-level gate resolution, ½CV² per node transition.
 //
+// Two engines are available: the event-driven reference engine (any
+// delay model, one vector stream per run) and the compiled bit-parallel
+// engine (zero-delay only, 64 Monte Carlo vectors per machine word).
+//
 // Usage:
 //
 //	swsim -in circuit.blif [-stats file | -scenario A|B] [-horizon s] [-seed n]
+//	      [-delay unit|elmore|zero] [-engine event|bitparallel] [-vectors n] [-vcd out.vcd]
 package main
 
 import (
@@ -13,28 +18,32 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/circuit"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/library"
 	"repro/internal/sim"
+	"repro/internal/stoch"
 )
 
 func main() {
 	in := flag.String("in", "", "input netlist (.blif or .gnl)")
 	statsFile := flag.String("stats", "", "input statistics file (net P D per line)")
 	scenario := flag.String("scenario", "A", "scenario A or B when -stats is absent")
-	horizon := flag.Float64("horizon", 5e-4, "simulated seconds")
+	horizon := flag.Float64("horizon", 5e-4, "simulated seconds (per vector)")
 	seed := flag.Int64("seed", 1996, "waveform seed")
 	delayMode := flag.String("delay", "unit", "gate delay model: unit, elmore or zero")
-	vcd := flag.String("vcd", "", "write a VCD waveform dump to this file")
+	engine := flag.String("engine", "event", "simulation engine: event or bitparallel")
+	vectors := flag.Int("vectors", 0, "Monte Carlo vectors (default: 1 event, 64 bitparallel)")
+	vcd := flag.String("vcd", "", "write a VCD waveform dump to this file (event engine only)")
 	flag.Parse()
-	if err := run(*in, *statsFile, *scenario, *horizon, *seed, *delayMode, *vcd); err != nil {
+	if err := run(*in, *statsFile, *scenario, *horizon, *seed, *delayMode, *engine, *vectors, *vcd); err != nil {
 		fmt.Fprintln(os.Stderr, "swsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode, vcdPath string) error {
+func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode, engineName string, vectors int, vcdPath string) error {
 	if in == "" {
 		return fmt.Errorf("missing -in")
 	}
@@ -58,29 +67,58 @@ func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode,
 	default:
 		return fmt.Errorf("unknown -delay %q", delayMode)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	waves, err := sim.GenerateWaveforms(c.Inputs, pi, horizon, rng)
+	eng, err := sim.ParseEngine(engineName)
 	if err != nil {
 		return err
 	}
+	if eng == sim.BitParallel && prm.Mode != sim.ZeroDelay {
+		return fmt.Errorf("-engine bitparallel is zero-delay only: pass -delay zero (unit and elmore delay need -engine event)")
+	}
+	if eng == sim.BitParallel && vcdPath != "" {
+		return fmt.Errorf("-vcd needs the event engine: the bit-parallel engine does not record per-lane waveform traces")
+	}
+	if vectors < 0 {
+		return fmt.Errorf("-vectors %d must be positive", vectors)
+	}
+	if vectors == 0 {
+		vectors = 1
+		if eng == sim.BitParallel {
+			vectors = stoch.MaxLanes
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
 	var res *sim.Result
-	if vcdPath != "" {
+	switch {
+	case eng == sim.BitParallel:
+		res, err = runBitParallel(c, pi, horizon, vectors, rng, prm)
+		if err != nil {
+			return err
+		}
+	case vcdPath != "":
+		if vectors != 1 {
+			return fmt.Errorf("-vcd records a single run: -vectors must be 1")
+		}
+		waves, werr := sim.GenerateWaveforms(c.Inputs, pi, horizon, rng)
+		if werr != nil {
+			return werr
+		}
 		var tr *sim.Trace
 		res, tr, err = sim.RunTrace(c, waves, horizon, prm)
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(vcdPath)
-		if err != nil {
-			return err
+		f, ferr := os.Create(vcdPath)
+		if ferr != nil {
+			return ferr
 		}
 		defer f.Close()
 		if err := tr.WriteVCD(f, c.Name); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", vcdPath)
-	} else {
-		res, err = sim.Run(c, waves, horizon, prm)
+	default:
+		res, err = runEventVectors(c, pi, horizon, vectors, rng, prm)
 		if err != nil {
 			return err
 		}
@@ -89,9 +127,57 @@ func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("circuit %s: simulated %.3g s, %d events\n", c.Name, horizon, res.Events)
+	fmt.Printf("circuit %s: engine %s, %d vector(s) of %.3g s, %d events\n",
+		c.Name, eng, vectors, horizon, res.Events)
 	fmt.Printf("measured power: %.4g W (%d internal-node flips, %d output flips)\n",
 		res.Power, res.InternalFlips, res.OutputFlips)
 	fmt.Printf("model power:    %.4g W (ratio %.2f)\n", model.Power, res.Power/model.Power)
 	return nil
+}
+
+// runBitParallel compiles the circuit once and evaluates ceil(n/64)
+// packed batches, folding counts and averaging power across all vectors.
+func runBitParallel(c *circuit.Circuit, pi map[string]stoch.Signal, horizon float64, vectors int, rng *rand.Rand, prm sim.Params) (*sim.Result, error) {
+	prog, err := sim.Compile(c, prm)
+	if err != nil {
+		return nil, err
+	}
+	total := &sim.Result{Horizon: horizon}
+	for done := 0; done < vectors; {
+		lanes := vectors - done
+		if lanes > stoch.MaxLanes {
+			lanes = stoch.MaxLanes
+		}
+		stim, err := sim.GeneratePackedWaveforms(c.Inputs, pi, horizon, lanes, rng)
+		if err != nil {
+			return nil, err
+		}
+		br, err := prog.Run(stim)
+		if err != nil {
+			return nil, err
+		}
+		total.Accumulate(&br.Result)
+		done += lanes
+	}
+	total.Power = total.Energy / (float64(vectors) * horizon)
+	return total, nil
+}
+
+// runEventVectors runs the event engine n times with fresh stimulus and
+// averages the measured power.
+func runEventVectors(c *circuit.Circuit, pi map[string]stoch.Signal, horizon float64, vectors int, rng *rand.Rand, prm sim.Params) (*sim.Result, error) {
+	total := &sim.Result{Horizon: horizon}
+	for v := 0; v < vectors; v++ {
+		waves, err := sim.GenerateWaveforms(c.Inputs, pi, horizon, rng)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(c, waves, horizon, prm)
+		if err != nil {
+			return nil, err
+		}
+		total.Accumulate(res)
+	}
+	total.Power = total.Energy / (float64(vectors) * horizon)
+	return total, nil
 }

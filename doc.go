@@ -19,7 +19,9 @@
 //   - internal/library — the Table 2 Sea-of-Gates cell library.
 //   - internal/netlist, internal/mapper — hand-rolled BLIF/GNL parsing
 //     (docs/gnl.md describes GNL) and technology mapping.
-//   - internal/sim — the switch-level power simulator (the SLS stand-in).
+//   - internal/sim — the switch-level power simulator (the SLS
+//     stand-in): an event-driven reference engine and a compiled
+//     bit-parallel engine (64 Monte Carlo vectors per word, zero-delay).
 //   - internal/delay — Elmore stack delays and static timing analysis.
 //   - internal/mcnc, internal/expt — benchmarks and the Table 1/2/3
 //     experiment harness.

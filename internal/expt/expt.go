@@ -56,7 +56,13 @@ type Options struct {
 	MaxDensA float64      // upper bound of the scenario-A density range
 	Seed     int64        // base seed; per-benchmark seeds derive from it
 	Workers  int          // parallel benchmark rows in Run (≤ 1: sequential)
-	Lib      *library.Library
+	// SimVectors is the number of Monte Carlo vector lanes (1..64) a
+	// zero-delay measurement packs per word: zero-delay runs go through
+	// the compiled bit-parallel engine, which measures SimVectors
+	// independent stimulus realizations in one pass. Unit- and
+	// Elmore-delay runs use the event-driven engine and ignore it.
+	SimVectors int
+	Lib        *library.Library
 }
 
 // DefaultOptions mirrors the paper's setup (densities up to one million
@@ -64,16 +70,17 @@ type Options struct {
 // so every input sees hundreds of transitions.
 func DefaultOptions() Options {
 	return Options{
-		Params:   core.DefaultParams(),
-		Delay:    delay.DefaultParams(),
-		Sim:      sim.DefaultParams(),
-		HorizonA: 5e-4,
-		CyclesB:  2000,
-		PeriodB:  100e-9,
-		MaxDensA: 1e6,
-		Seed:     1996, // the paper's year; any fixed value works
-		Workers:  runtime.NumCPU(),
-		Lib:      library.Default(),
+		Params:     core.DefaultParams(),
+		Delay:      delay.DefaultParams(),
+		Sim:        sim.DefaultParams(),
+		HorizonA:   5e-4,
+		CyclesB:    2000,
+		PeriodB:    100e-9,
+		MaxDensA:   1e6,
+		Seed:       1996, // the paper's year; any fixed value works
+		Workers:    runtime.NumCPU(),
+		SimVectors: stoch.MaxLanes,
+		Lib:        library.Default(),
 	}
 }
 
@@ -237,8 +244,35 @@ func RunCircuit(c *circuit.Circuit, sc Scenario, opt Options) (Table3Row, error)
 // SimReduction measures the switch-level-simulated best-vs-worst power
 // reduction (Table 3's S column): both circuits simulated under identical
 // scenario-appropriate stimulus drawn deterministically from seed.
+// Zero-delay measurements run on the compiled bit-parallel engine with
+// opt.SimVectors Monte Carlo lanes per word; unit- and Elmore-delay
+// measurements use the event-driven engine (the reference for glitch
+// power).
 func SimReduction(c, best, worst *circuit.Circuit, pi map[string]stoch.Signal, sc Scenario, seed int64, opt Options) (float64, error) {
 	rng := rand.New(rand.NewSource(seed))
+	if opt.Sim.Mode == sim.ZeroDelay {
+		lanes := opt.SimVectors
+		if lanes == 0 {
+			lanes = stoch.MaxLanes
+		}
+		var stim *stoch.PackedStimulus
+		var err error
+		switch sc {
+		case ScenarioA:
+			stim, err = sim.GeneratePackedWaveforms(c.Inputs, pi, opt.HorizonA, lanes, rng)
+		default:
+			perCycle := make(map[string]stoch.Signal, len(pi))
+			for net, s := range pi {
+				perCycle[net] = stoch.Signal{P: s.P, D: s.D * opt.PeriodB}
+			}
+			stim, err = sim.GeneratePackedClockedWaveforms(c.Inputs, perCycle, opt.CyclesB, opt.PeriodB, lanes, rng)
+		}
+		if err != nil {
+			return 0, err
+		}
+		red, _, _, err := sim.MeasureReductionPacked(best, worst, stim, opt.Sim)
+		return red, err
+	}
 	var waves map[string]*stoch.Waveform
 	var horizon float64
 	var err error

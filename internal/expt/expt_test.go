@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/mcnc"
+	"repro/internal/reorder"
+	"repro/internal/sim"
 )
 
 func TestInputStatsScenarios(t *testing.T) {
@@ -112,6 +114,56 @@ func TestRunCircuitSmall(t *testing.T) {
 	// magnitude.
 	if math.Abs(row.SimRed-row.ModelRed) > 0.20 {
 		t.Errorf("model %.2f and simulation %.2f disagree wildly", row.ModelRed, row.SimRed)
+	}
+}
+
+// TestSimReductionZeroDelayUsesBitParallel: with a zero-delay simulator
+// configuration, SimReduction routes through the compiled bit-parallel
+// engine (SimVectors Monte Carlo lanes). The measurement must be
+// deterministic in the seed and agree with the model on the winner.
+func TestSimReductionZeroDelayUsesBitParallel(t *testing.T) {
+	opt := DefaultOptions()
+	opt.HorizonA = 2e-4
+	opt.Sim.Mode = sim.ZeroDelay
+	opt.SimVectors = 16
+	c, err := mcnc.Load("rca4", opt.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := InputStats(c, ScenarioA, opt)
+	ro := reorder.DefaultOptions()
+	ro.Params = opt.Params
+	best, worst, err := reorder.BestAndWorst(c, pi, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red1, err := SimReduction(c, best.Circuit, worst.Circuit, pi, ScenarioA, 42, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red2, err := SimReduction(c, best.Circuit, worst.Circuit, pi, ScenarioA, 42, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red1 != red2 {
+		t.Errorf("packed SimReduction not deterministic: %v vs %v", red1, red2)
+	}
+	if red1 <= 0 {
+		t.Errorf("zero-delay bit-parallel reduction %.3f not positive", red1)
+	}
+	// Scenario B exercises the clocked packed generator.
+	piB := InputStats(c, ScenarioB, opt)
+	opt.CyclesB = 500
+	bestB, worstB, err := reorder.BestAndWorst(c, piB, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redB, err := SimReduction(c, bestB.Circuit, worstB.Circuit, piB, ScenarioB, 42, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redB <= -0.05 {
+		t.Errorf("scenario B zero-delay reduction %.3f strongly negative", redB)
 	}
 }
 

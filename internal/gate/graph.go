@@ -258,54 +258,107 @@ func (g *Graph) CheckComplementary() error {
 // driven nodes take their rail value, undriven nodes keep prev (prev may
 // be nil, in which case undriven nodes default to false). Used by the
 // switch-level simulator and by tests cross-checking H/G.
+//
+// Each call allocates; hot loops should hold a NewEvaluator and call
+// StateAt with a reusable destination slice instead.
 func (g *Graph) NodeStateAt(m uint, prev []bool) []bool {
-	state := make([]bool, g.NumNodes)
-	driven := make([]bool, g.NumNodes)
-	// Flood from each rail across conducting edges.
-	var flood func(cur NodeID, val bool, seen []bool)
-	conducts := func(e Edge) bool {
+	return g.NewEvaluator().StateAt(m, prev, nil)
+}
+
+// adjEdge is one transistor terminal as seen from a node: the node on the
+// other side of the channel and the condition under which it conducts.
+type adjEdge struct {
+	next  NodeID
+	input int // gate input index controlling the channel
+	pmos  bool
+}
+
+// Evaluator resolves node states for one Graph without allocating per
+// call: the adjacency lists, the flood work stack and the visit stamps are
+// built once and reused. An Evaluator is not safe for concurrent use.
+type Evaluator struct {
+	g     *Graph
+	adj   [][]adjEdge
+	stack []NodeID
+	seen  []int32
+	stamp int32
+}
+
+// NewEvaluator builds a reusable node-state evaluator for the graph.
+func (g *Graph) NewEvaluator() *Evaluator {
+	adj := make([][]adjEdge, g.NumNodes)
+	for _, e := range g.Edges {
 		i := g.inputIndex(e.Input)
-		bit := m>>i&1 == 1
-		if e.Type == NMOS {
-			return bit
-		}
-		return !bit
+		adj[e.A] = append(adj[e.A], adjEdge{next: e.B, input: i, pmos: e.Type == PMOS})
+		adj[e.B] = append(adj[e.B], adjEdge{next: e.A, input: i, pmos: e.Type == PMOS})
 	}
-	flood = func(cur NodeID, val bool, seen []bool) {
-		seen[cur] = true
+	return &Evaluator{
+		g:     g,
+		adj:   adj,
+		stack: make([]NodeID, 0, g.NumNodes),
+		seen:  make([]int32, g.NumNodes),
+	}
+}
+
+// StateAt computes the settled node state under input minterm m with
+// charge retention from prev (nil: undriven nodes read false), writing the
+// result into dst (allocated when nil; otherwise len(dst) must equal
+// NumNodes) and returning it. dst and prev may not alias.
+func (ev *Evaluator) StateAt(m uint, prev, dst []bool) []bool {
+	g := ev.g
+	if dst == nil {
+		dst = make([]bool, g.NumNodes)
+	}
+	if prev == nil {
+		for n := range dst {
+			dst[n] = false
+		}
+	} else {
+		copy(dst, prev)
+	}
+	// Flood from each rail across conducting edges; nodes not reached by
+	// either flood keep their retained charge.
+	ev.flood(Vdd, true, m, dst)
+	ev.flood(Vss, false, m, dst)
+	dst[Vdd], dst[Vss] = true, false
+	return dst
+}
+
+// flood walks conducting channels from a rail, driving every reached node
+// to val. Rails are supplies, not wires: the walk never continues through
+// the opposite rail.
+func (ev *Evaluator) flood(from NodeID, val bool, m uint, dst []bool) {
+	ev.stamp++
+	if ev.stamp <= 0 { // stamp wrapped: stale marks could collide
+		for i := range ev.seen {
+			ev.seen[i] = 0
+		}
+		ev.stamp = 1
+	}
+	stack := append(ev.stack[:0], from)
+	ev.seen[from] = ev.stamp
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if cur != Vdd && cur != Vss {
-			state[cur] = val
-			driven[cur] = true
+			dst[cur] = val
 		}
-		for _, e := range g.Edges {
-			if !conducts(e) {
+		for _, e := range ev.adj[cur] {
+			on := m>>e.input&1 == 1
+			if e.pmos {
+				on = !on
+			}
+			if !on {
 				continue
 			}
-			var next NodeID
-			switch {
-			case e.A == cur:
-				next = e.B
-			case e.B == cur:
-				next = e.A
-			default:
+			if e.next == Vdd || e.next == Vss || ev.seen[e.next] == ev.stamp {
 				continue
 			}
-			if next == Vdd || next == Vss || seen[next] {
-				continue
-			}
-			flood(next, val, seen)
+			ev.seen[e.next] = ev.stamp
+			stack = append(stack, e.next)
 		}
 	}
-	flood(Vdd, true, make([]bool, g.NumNodes))
-	flood(Vss, false, make([]bool, g.NumNodes))
-	state[Vdd], driven[Vdd] = true, true
-	state[Vss], driven[Vss] = false, true
-	for n := 0; n < g.NumNodes; n++ {
-		if !driven[n] && prev != nil {
-			state[n] = prev[n]
-		}
-	}
-	return state
+	ev.stack = stack[:0]
 }
 
 func (g *Graph) inputIndex(name string) int {

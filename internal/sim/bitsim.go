@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/stoch"
+)
+
+// BitResult is a bit-parallel measurement: the embedded Result sums the
+// transitions and energy of every active lane, with Power normalized to
+// the mean per-lane power (Energy / (Lanes·Horizon)) so it is directly
+// comparable with a single event-driven run. Result.Events counts
+// evaluated steps.
+type BitResult struct {
+	Result
+	Lanes int // active Monte Carlo lanes
+	Steps int // settling instants evaluated
+
+	// Per-lane breakdowns, populated only by RunLanes (nil otherwise):
+	// the lane-equivalence property tests compare these against 64
+	// independent event-driven runs.
+	LaneNetTransitions map[string][]int // net → per-lane transition counts
+	LaneInternalFlips  []int
+	LaneOutputFlips    []int
+	LaneEnergy         []float64 // joules per lane
+}
+
+// RunPacked compiles the circuit and evaluates the packed stimulus on the
+// bit-parallel engine. prm must describe a zero-delay setup.
+func RunPacked(c *circuit.Circuit, stim *stoch.PackedStimulus, prm Params) (*BitResult, error) {
+	if prm.Mode != ZeroDelay {
+		return nil, fmt.Errorf("sim: the bit-parallel engine is zero-delay only: %s delay needs the event engine", prm.Mode.name())
+	}
+	p, err := Compile(c, prm)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(stim)
+}
+
+// Run evaluates the packed stimulus: one pass over the op array per
+// settling step, 64 lanes per word, transition metering by popcount. The
+// Program is read-only; concurrent Runs are safe.
+func (p *Program) Run(stim *stoch.PackedStimulus) (*BitResult, error) {
+	return p.run(stim, false)
+}
+
+// RunLanes is Run with per-lane metering: the BitResult additionally
+// carries per-lane transition counts and energies. The extra bookkeeping
+// costs one pass over the set bits of every diff word — proportional to
+// the transitions that actually happened, not to lanes × nodes.
+func (p *Program) RunLanes(stim *stoch.PackedStimulus) (*BitResult, error) {
+	return p.run(stim, true)
+}
+
+func (p *Program) run(stim *stoch.PackedStimulus, perLane bool) (*BitResult, error) {
+	if err := stim.Validate(); err != nil {
+		return nil, err
+	}
+	// Map program inputs onto stimulus rows by name.
+	stimIdx := make(map[string]int, len(stim.Inputs))
+	for i, in := range stim.Inputs {
+		stimIdx[in] = i
+	}
+	inRow := make([]int, len(p.inputs))
+	for i, in := range p.inputs {
+		row, ok := stimIdx[in]
+		if !ok {
+			return nil, fmt.Errorf("sim: packed stimulus has no row for input %q", in)
+		}
+		inRow[i] = row
+	}
+
+	mask := stim.LaneMask()
+	regs := make([]uint64, p.numRegs)
+	regs[1] = ^uint64(0)
+	counts := make([]int64, len(p.meters))
+	var laneCounts [][]int
+	if perLane {
+		laneCounts = make([][]int, len(p.meters))
+		for i := range laneCounts {
+			laneCounts[i] = make([]int, stim.Lanes)
+		}
+	}
+
+	// t=0 settle: load initial inputs, evaluate, commit without metering.
+	for i, r := range p.inReg {
+		regs[r] = stim.Initial[inRow[i]] & mask
+	}
+	p.exec(regs)
+	for _, mp := range p.meters {
+		regs[mp.stateReg] = regs[mp.valueReg]
+	}
+
+	for s := 0; s < stim.Steps; s++ {
+		for i, r := range p.inReg {
+			regs[r] = stim.Bits[inRow[i]][s] & mask
+		}
+		p.exec(regs)
+		for mi := range p.meters {
+			mp := &p.meters[mi]
+			d := (regs[mp.valueReg] ^ regs[mp.stateReg]) & mask
+			if d != 0 {
+				counts[mi] += int64(bits.OnesCount64(d))
+				if perLane {
+					lc := laneCounts[mi]
+					for w := d; w != 0; w &= w - 1 {
+						lc[bits.TrailingZeros64(w)]++
+					}
+				}
+				regs[mp.stateReg] = regs[mp.valueReg]
+			}
+		}
+	}
+
+	return p.assemble(stim, counts, laneCounts), nil
+}
+
+// exec runs the compiled op stream once.
+func (p *Program) exec(regs []uint64) {
+	for i := range p.ops {
+		op := &p.ops[i]
+		switch op.code {
+		case opAnd:
+			regs[op.dst] = regs[op.a] & regs[op.b]
+		case opOr:
+			regs[op.dst] = regs[op.a] | regs[op.b]
+		case opAndNot:
+			regs[op.dst] = regs[op.a] &^ regs[op.b]
+		default: // opNot
+			regs[op.dst] = ^regs[op.a]
+		}
+	}
+}
+
+// assemble folds raw meter counts into a BitResult.
+func (p *Program) assemble(stim *stoch.PackedStimulus, counts []int64, laneCounts [][]int) *BitResult {
+	br := &BitResult{
+		Result: Result{
+			Horizon:        stim.Horizon,
+			PerGate:        make(map[string]float64, len(p.gates)),
+			NetTransitions: make(map[string]int, len(p.inputs)+len(p.gates)),
+			Events:         stim.Steps,
+		},
+		Lanes: stim.Lanes,
+		Steps: stim.Steps,
+	}
+	perLane := laneCounts != nil
+	if perLane {
+		br.LaneNetTransitions = map[string][]int{}
+		br.LaneInternalFlips = make([]int, stim.Lanes)
+		br.LaneOutputFlips = make([]int, stim.Lanes)
+		br.LaneEnergy = make([]float64, stim.Lanes)
+	}
+	for _, g := range p.gates {
+		br.PerGate[g.Name] = 0
+	}
+	for mi := range p.meters {
+		mp := &p.meters[mi]
+		n := int(counts[mi])
+		e := mp.energy * float64(n)
+		br.Energy += e
+		if mp.gate >= 0 {
+			br.PerGate[p.gates[mp.gate].Name] += e
+		}
+		switch mp.kind {
+		case meterInput, meterOutput:
+			br.NetTransitions[mp.net] += n
+			if mp.kind == meterOutput {
+				br.OutputFlips += n
+			}
+		case meterInternal:
+			br.InternalFlips += n
+		}
+		if perLane {
+			lc := laneCounts[mi]
+			if mp.kind == meterInput || mp.kind == meterOutput {
+				row := br.LaneNetTransitions[mp.net]
+				if row == nil {
+					row = make([]int, stim.Lanes)
+					br.LaneNetTransitions[mp.net] = row
+				}
+				for l, c := range lc {
+					row[l] += c
+				}
+			}
+			for l, c := range lc {
+				switch mp.kind {
+				case meterOutput:
+					br.LaneOutputFlips[l] += c
+				case meterInternal:
+					br.LaneInternalFlips[l] += c
+				}
+				br.LaneEnergy[l] += mp.energy * float64(c)
+			}
+		}
+	}
+	br.Power = br.Energy / (float64(stim.Lanes) * stim.Horizon)
+	return br
+}
+
+// GeneratePackedWaveforms draws `lanes` independent scenario-A waveform
+// sets (exponential inter-transition times) from one rng and bit-packs
+// them: lane l is Monte Carlo trial l. A fixed seed reproduces the exact
+// stimulus, so best and worst circuits can be measured under identical
+// vectors.
+func GeneratePackedWaveforms(inputs []string, stats map[string]stoch.Signal, horizon float64, lanes int, rng *rand.Rand) (*stoch.PackedStimulus, error) {
+	laneWaves, err := generateLaneWaveforms(inputs, lanes, func() (map[string]*stoch.Waveform, error) {
+		return GenerateWaveforms(inputs, stats, horizon, rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stoch.PackWaveforms(inputs, laneWaves, horizon)
+}
+
+// GeneratePackedClockedWaveforms is the scenario-B counterpart: `lanes`
+// independent clocked waveform sets, packed. The horizon is cycles·period.
+func GeneratePackedClockedWaveforms(inputs []string, stats map[string]stoch.Signal, cycles int, period float64, lanes int, rng *rand.Rand) (*stoch.PackedStimulus, error) {
+	laneWaves, err := generateLaneWaveforms(inputs, lanes, func() (map[string]*stoch.Waveform, error) {
+		return GenerateClockedWaveforms(inputs, stats, cycles, period, rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stoch.PackWaveforms(inputs, laneWaves, float64(cycles)*period)
+}
+
+func generateLaneWaveforms(inputs []string, lanes int, gen func() (map[string]*stoch.Waveform, error)) ([]map[string]*stoch.Waveform, error) {
+	if lanes < 1 || lanes > stoch.MaxLanes {
+		return nil, fmt.Errorf("sim: %d vectors out of [1,%d] per packed run", lanes, stoch.MaxLanes)
+	}
+	laneWaves := make([]map[string]*stoch.Waveform, lanes)
+	for l := range laneWaves {
+		w, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		laneWaves[l] = w
+	}
+	return laneWaves, nil
+}
+
+// MeasureReductionPacked measures (worstPower-bestPower)/worstPower on
+// the bit-parallel engine under identical packed stimulus — the S column
+// of Table 3 for zero-delay runs, 64 Monte Carlo vectors per pass.
+func MeasureReductionPacked(best, worst *circuit.Circuit, stim *stoch.PackedStimulus, prm Params) (float64, *BitResult, *BitResult, error) {
+	rb, err := RunPacked(best, stim, prm)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("sim: best circuit: %w", err)
+	}
+	rw, err := RunPacked(worst, stim, prm)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("sim: worst circuit: %w", err)
+	}
+	if rw.Power == 0 {
+		return 0, rb, rw, nil
+	}
+	return (rw.Power - rb.Power) / rw.Power, rb, rw, nil
+}

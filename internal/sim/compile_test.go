@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/library"
+	"repro/internal/mcnc"
+	"repro/internal/sp"
+	"repro/internal/stoch"
+)
+
+func zeroParams() Params {
+	prm := DefaultParams()
+	prm.Mode = ZeroDelay
+	return prm
+}
+
+// TestLaneEquivalenceEmbeddedBenchmarks is the tentpole property test:
+// on every embedded MCNC benchmark, the compiled bit-parallel engine must
+// reproduce the event-driven engine's zero-delay measurement lane for
+// lane — per-net transition counts, internal flips and energy — under 64
+// independently drawn Monte Carlo stimulus vectors.
+func TestLaneEquivalenceEmbeddedBenchmarks(t *testing.T) {
+	lib := library.Default()
+	prm := zeroParams()
+	const lanes = 64
+	const horizon = 1e-4
+	for _, name := range mcnc.EmbeddedNames() {
+		t.Run(name, func(t *testing.T) {
+			c, err := mcnc.Load(name, lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(name)) * 7919))
+			stats := make(map[string]stoch.Signal, len(c.Inputs))
+			for _, in := range c.Inputs {
+				stats[in] = stoch.Signal{P: 0.1 + 0.8*rng.Float64(), D: 1e5 + 4e5*rng.Float64()}
+			}
+			laneWaves := make([]map[string]*stoch.Waveform, lanes)
+			for l := range laneWaves {
+				w, err := GenerateWaveforms(c.Inputs, stats, horizon, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				laneWaves[l] = w
+			}
+			stim, err := stoch.PackWaveforms(c.Inputs, laneWaves, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Compile(c, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			br, err := prog.RunLanes(stim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var totalEnergy float64
+			for l := 0; l < lanes; l++ {
+				ref, err := Run(c, laneWaves[l], horizon, prm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for net, want := range ref.NetTransitions {
+					if got := br.LaneNetTransitions[net][l]; got != want {
+						t.Fatalf("lane %d net %s: bit-parallel %d transitions, event %d", l, net, got, want)
+					}
+				}
+				for net, row := range br.LaneNetTransitions {
+					if row[l] != ref.NetTransitions[net] {
+						t.Fatalf("lane %d net %s: bit-parallel %d transitions, event %d", l, net, row[l], ref.NetTransitions[net])
+					}
+				}
+				if br.LaneInternalFlips[l] != ref.InternalFlips {
+					t.Fatalf("lane %d: internal flips %d vs %d", l, br.LaneInternalFlips[l], ref.InternalFlips)
+				}
+				if br.LaneOutputFlips[l] != ref.OutputFlips {
+					t.Fatalf("lane %d: output flips %d vs %d", l, br.LaneOutputFlips[l], ref.OutputFlips)
+				}
+				if want := ref.Energy; math.Abs(br.LaneEnergy[l]-want) > 1e-9*math.Max(want, 1e-30) {
+					t.Fatalf("lane %d: energy %g vs %g", l, br.LaneEnergy[l], want)
+				}
+				totalEnergy += ref.Energy
+			}
+			if math.Abs(br.Energy-totalEnergy) > 1e-9*math.Max(totalEnergy, 1e-30) {
+				t.Fatalf("total energy %g, sum of event lanes %g", br.Energy, totalEnergy)
+			}
+			wantPower := totalEnergy / (lanes * horizon)
+			if math.Abs(br.Power-wantPower) > 1e-9*math.Max(wantPower, 1e-30) {
+				t.Fatalf("power %g, want mean per-lane %g", br.Power, wantPower)
+			}
+		})
+	}
+}
+
+// TestRunDispatchesToBitParallel: sim.Run with Engine == BitParallel must
+// return the same Result as the event engine for a single vector stream.
+func TestRunDispatchesToBitParallel(t *testing.T) {
+	lib := library.Default()
+	c, err := mcnc.Load("c17", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	stats := make(map[string]stoch.Signal, len(c.Inputs))
+	for _, in := range c.Inputs {
+		stats[in] = stoch.Signal{P: 0.5, D: 2e5}
+	}
+	const horizon = 1e-4
+	waves, err := GenerateWaveforms(c.Inputs, stats, horizon, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := zeroParams()
+	ev, err := Run(c, waves, horizon, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm.Engine = BitParallel
+	bp, err := Run(c, waves, horizon, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for net, want := range ev.NetTransitions {
+		if bp.NetTransitions[net] != want {
+			t.Errorf("net %s: %d vs %d transitions", net, bp.NetTransitions[net], want)
+		}
+	}
+	if bp.InternalFlips != ev.InternalFlips || bp.OutputFlips != ev.OutputFlips {
+		t.Errorf("flips: bit-parallel %d/%d, event %d/%d",
+			bp.InternalFlips, bp.OutputFlips, ev.InternalFlips, ev.OutputFlips)
+	}
+	if math.Abs(bp.Energy-ev.Energy) > 1e-12*math.Max(ev.Energy, 1e-30) {
+		t.Errorf("energy %g vs %g", bp.Energy, ev.Energy)
+	}
+	for name, want := range ev.PerGate {
+		if got := bp.PerGate[name]; math.Abs(got-want) > 1e-12*math.Max(want, 1e-30) {
+			t.Errorf("gate %s energy %g vs %g", name, got, want)
+		}
+	}
+}
+
+// TestCompiledChargeRetention: the nand2 charge-retention scenario of
+// TestChargeRetentionSuppressesInternalActivity, on the compiled engine —
+// with the top transistor off, toggling the bottom input moves neither
+// the output nor (after the first discharge) the internal node.
+func TestCompiledChargeRetention(t *testing.T) {
+	nandCell := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	circ := nandCircuit(nandCell)
+	waves := map[string]*stoch.Waveform{
+		"a": {Initial: false},
+		"b": {Initial: false, Events: []stoch.Event{
+			{Time: 1e-6, Value: true}, {Time: 2e-6, Value: false},
+			{Time: 3e-6, Value: true},
+		}},
+	}
+	stim, err := stoch.PackWaveforms(circ.Inputs, []map[string]*stoch.Waveform{waves}, 5e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPacked(circ, stim, zeroParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetTransitions["z"] != 0 {
+		t.Errorf("output moved %d times with the stack off", res.NetTransitions["z"])
+	}
+	if res.InternalFlips > 1 {
+		t.Errorf("internal flips = %d, want ≤ 1 (charge retention)", res.InternalFlips)
+	}
+}
+
+// TestCompileRejectsWideGate: cells beyond six inputs have no one-word
+// truth table and must be rejected with a clear error.
+func TestCompileRejectsWideGate(t *testing.T) {
+	pins := []string{"a", "b", "c", "d", "e", "f", "g"}
+	wide := gate.MustNew("nand7", pins, sp.MustParse("s(a,b,c,d,e,f,g)"))
+	c := &circuit.Circuit{
+		Name:    "wide",
+		Inputs:  pins,
+		Outputs: []string{"z"},
+		Gates:   []*circuit.Instance{{Name: "u1", Cell: wide, Pins: pins, Out: "z"}},
+	}
+	if _, err := Compile(c, zeroParams()); err == nil {
+		t.Fatal("7-input gate compiled")
+	}
+}
+
+// TestRunPackedRejectsNonZeroDelay: the bit-parallel engine must refuse
+// unit- and Elmore-delay parameter sets.
+func TestRunPackedRejectsNonZeroDelay(t *testing.T) {
+	nandCell := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
+	c := nandCircuit(nandCell)
+	waves := map[string]*stoch.Waveform{"a": {Initial: false}, "b": {Initial: false}}
+	stim, err := stoch.PackWaveforms(c.Inputs, []map[string]*stoch.Waveform{waves}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPacked(c, stim, DefaultParams()); err == nil {
+		t.Fatal("unit-delay parameters accepted by the bit-parallel engine")
+	}
+	bad := DefaultParams()
+	bad.Engine = BitParallel
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Params.Validate accepted bit-parallel with unit delay")
+	}
+}
+
+// TestCompiledProgramStats: the compiled program is dense and levelized.
+func TestCompiledProgramStats(t *testing.T) {
+	lib := library.Default()
+	c, err := mcnc.Load("rca8", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(c, zeroParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumOps() == 0 || p.NumRegs() <= 2 {
+		t.Fatalf("degenerate program: %d ops, %d regs", p.NumOps(), p.NumRegs())
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Levels() != stats.Depth {
+		t.Errorf("program levels %d, circuit depth %d", p.Levels(), stats.Depth)
+	}
+}
+
+// TestMeasureReductionPackedMotivationGate mirrors the event-engine
+// MeasureReduction cross-check on the compiled engine: the model-chosen
+// best configuration must also measure better under 64 packed vectors.
+func TestMeasureReductionPackedMotivationGate(t *testing.T) {
+	g := gate.MustNew("oai21", []string{"a1", "a2", "b"}, sp.MustParse("s(p(a1,a2),b)"))
+	cfgs := g.AllConfigs()
+	stats := map[string]stoch.Signal{
+		"a1": {P: 0.5, D: 1e4}, "a2": {P: 0.5, D: 1e5}, "b": {P: 0.5, D: 1e6},
+	}
+	rng := rand.New(rand.NewSource(17))
+	const horizon = 2e-3
+	stim, err := GeneratePackedWaveforms([]string{"a1", "a2", "b"}, stats, horizon, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure every configuration; the spread must be visible and
+	// deterministic under the shared stimulus.
+	powers := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := RunPacked(oai21Circuit(cfg), stim, zeroParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		powers[i] = res.Power
+	}
+	min, max := powers[0], powers[0]
+	for _, p := range powers {
+		min = math.Min(min, p)
+		max = math.Max(max, p)
+	}
+	if min <= 0 || (max-min)/max < 0.02 {
+		t.Errorf("configuration spread too small: min %g max %g", min, max)
+	}
+}
+
+// nandCircuit wraps one two-input cell as a circuit with inputs a, b and
+// output z.
+func nandCircuit(cell *gate.Gate) *circuit.Circuit {
+	return &circuit.Circuit{
+		Name:    "one2",
+		Inputs:  []string{"a", "b"},
+		Outputs: []string{"z"},
+		Gates:   []*circuit.Instance{{Name: "u1", Cell: cell, Pins: []string{"a", "b"}, Out: "z"}},
+	}
+}

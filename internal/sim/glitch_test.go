@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stoch"
+)
+
+// Edge cases for Glitches / FunctionalTransitions: empty waveforms,
+// single-event waveforms, and horizons that end before the first event.
+
+func TestGlitchesEmptyWaveform(t *testing.T) {
+	c := invCircuit()
+	waves := map[string]*stoch.Waveform{"a": {Initial: true}}
+	rep, err := Glitches(c, waves, 1e-6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalGateTrans != 0 || rep.Useless != 0 || rep.Fraction != 0 {
+		t.Errorf("quiet circuit reported activity: %+v", rep)
+	}
+	if len(rep.Functional) != 0 {
+		t.Errorf("functional counts on a quiet circuit: %v", rep.Functional)
+	}
+}
+
+func TestGlitchesSingleEventWaveform(t *testing.T) {
+	c := invCircuit()
+	waves := map[string]*stoch.Waveform{
+		"a": {Initial: false, Events: []stoch.Event{{Time: 1e-6, Value: true}}},
+	}
+	rep, err := Glitches(c, waves, 2e-6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Functional["z"] != 1 || rep.Simulated["z"] != 1 {
+		t.Errorf("single edge: functional %d simulated %d, want 1/1",
+			rep.Functional["z"], rep.Simulated["z"])
+	}
+	if rep.Useless != 0 {
+		t.Errorf("an inverter cannot glitch: useless = %d", rep.Useless)
+	}
+}
+
+func TestGlitchesHorizonBeforeFirstEvent(t *testing.T) {
+	c := invCircuit()
+	waves := map[string]*stoch.Waveform{
+		"a": {Initial: false, Events: []stoch.Event{{Time: 5e-6, Value: true}}},
+	}
+	rep, err := Glitches(c, waves, 1e-6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Simulated["z"] != 0 || rep.Functional["z"] != 0 {
+		t.Errorf("event beyond horizon was simulated: %+v", rep)
+	}
+}
+
+func TestFunctionalTransitionsEmptyAndLateEvents(t *testing.T) {
+	c := invCircuit()
+	// Empty waveform: no transitions anywhere.
+	counts, err := FunctionalTransitions(c, map[string]*stoch.Waveform{"a": {Initial: true}}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 0 {
+		t.Errorf("empty stimulus produced counts %v", counts)
+	}
+	// Horizon shorter than the first event: still no transitions.
+	counts, err = FunctionalTransitions(c, map[string]*stoch.Waveform{
+		"a": {Initial: true, Events: []stoch.Event{{Time: 2e-6, Value: false}}},
+	}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 0 {
+		t.Errorf("late event counted: %v", counts)
+	}
+}
+
+func TestFunctionalTransitionsMissingWaveform(t *testing.T) {
+	c := invCircuit()
+	if _, err := FunctionalTransitions(c, map[string]*stoch.Waveform{}, 1e-6); err == nil {
+		t.Error("missing waveform accepted")
+	}
+}

@@ -6,14 +6,21 @@
 // included, exactly the quantity the paper's model predicts. Column S of
 // Table 3 is measured with this simulator.
 //
-// Gates have either a fixed ("unit") or an Elmore-model output delay, so
-// reconvergent paths generate the useless transitions (glitches) whose
-// power the paper's introduction highlights; a zero-delay mode suppresses
-// them for comparison.
+// Two engines share these semantics:
+//
+//   - The event-driven engine (this file): a time-ordered event queue over
+//     named nets. Gates have either a fixed ("unit") or an Elmore-model
+//     output delay, so reconvergent paths generate the useless transitions
+//     (glitches) whose power the paper's introduction highlights; a
+//     zero-delay mode settles the circuit atomically per input instant.
+//   - The compiled bit-parallel engine (compile.go, bitsim.go): the
+//     circuit is lowered once into a flat, levelized word-op program over
+//     dense node indices and evaluated on 64 packed Monte Carlo vectors
+//     per machine word. Zero-delay only; lane-for-lane equivalent to the
+//     event-driven engine's zero-delay mode.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -34,12 +41,48 @@ const (
 	ZeroDelay                    // outputs update instantaneously
 )
 
+// Engine selects the simulation backend.
+type Engine int
+
+// Engines.
+const (
+	// EventDriven is the reference engine: heap-scheduled events over
+	// named nets, any delay mode, one input vector stream per run.
+	EventDriven Engine = iota
+	// BitParallel is the compiled engine: the circuit is lowered to a flat
+	// word-op program and evaluated on up to 64 packed vectors per word.
+	// Zero-delay mode only.
+	BitParallel
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EventDriven:
+		return "event"
+	case BitParallel:
+		return "bitparallel"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine resolves an engine name as printed by Engine.String.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "event":
+		return EventDriven, nil
+	case "bitparallel", "bit-parallel":
+		return BitParallel, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (want event or bitparallel)", s)
+}
+
 // Params configures a simulation.
 type Params struct {
-	Cap   core.Params  // capacitance and supply constants
-	Mode  DelayMode    // gate delay model
-	Unit  float64      // gate delay for UnitDelay mode, seconds
-	Delay delay.Params // electrical constants for ElmoreDelay mode
+	Cap    core.Params  // capacitance and supply constants
+	Mode   DelayMode    // gate delay model
+	Unit   float64      // gate delay for UnitDelay mode, seconds
+	Delay  delay.Params // electrical constants for ElmoreDelay mode
+	Engine Engine       // simulation backend (default: event-driven)
 }
 
 // DefaultParams uses unit delays of 1 ns and the shared electrical
@@ -71,7 +114,28 @@ func (p Params) Validate() error {
 	default:
 		return fmt.Errorf("sim: unknown delay mode %d", int(p.Mode))
 	}
+	switch p.Engine {
+	case EventDriven:
+	case BitParallel:
+		if p.Mode != ZeroDelay {
+			return fmt.Errorf("sim: the bit-parallel engine is zero-delay only: %s delay needs the event engine", p.Mode.name())
+		}
+	default:
+		return fmt.Errorf("sim: unknown engine %d", int(p.Engine))
+	}
 	return nil
+}
+
+func (m DelayMode) name() string {
+	switch m {
+	case UnitDelay:
+		return "unit"
+	case ElmoreDelay:
+		return "elmore"
+	case ZeroDelay:
+		return "zero"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
 }
 
 // Result summarizes a simulation run.
@@ -94,8 +158,35 @@ func (r *Result) Density(net string) float64 {
 	return float64(r.NetTransitions[net]) / r.Horizon
 }
 
+// Accumulate folds another run's counts and energies into r (used to
+// aggregate Monte Carlo batches). Power is not updated: after the last
+// batch, divide Energy by the total simulated time across all vectors.
+func (r *Result) Accumulate(o *Result) {
+	r.Energy += o.Energy
+	r.InternalFlips += o.InternalFlips
+	r.OutputFlips += o.OutputFlips
+	r.Events += o.Events
+	if r.NetTransitions == nil {
+		r.NetTransitions = map[string]int{}
+	}
+	for net, n := range o.NetTransitions {
+		r.NetTransitions[net] += n
+	}
+	if r.PerGate == nil {
+		r.PerGate = map[string]float64{}
+	}
+	for inst, e := range o.PerGate {
+		r.PerGate[inst] += e
+	}
+}
+
 // Run simulates the circuit over [0, horizon] with the given input
-// waveforms (one per primary input).
+// waveforms (one per primary input). With Params.Engine == BitParallel
+// (zero-delay only) the waveforms are bit-packed into a single lane and
+// evaluated by the compiled engine: every measured quantity —
+// transitions, flips, energies, power — is identical; only
+// Result.Events is engine-defined (processed events for the event
+// engine, settling steps for the compiled one).
 func Run(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, prm Params) (*Result, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
@@ -105,6 +196,17 @@ func Run(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, 
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if prm.Engine == BitParallel {
+		stim, err := stoch.PackWaveforms(c.Inputs, []map[string]*stoch.Waveform{waves}, horizon)
+		if err != nil {
+			return nil, err
+		}
+		br, err := RunPacked(c, stim, prm)
+		if err != nil {
+			return nil, err
+		}
+		return &br.Result, nil
 	}
 	s, err := newSimulator(c, prm)
 	if err != nil {
@@ -119,59 +221,51 @@ func Run(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, 
 		}
 		init[in] = w.Initial
 	}
-	if err := s.settle(init); err != nil {
-		return nil, err
-	}
+	s.settle(init)
 	// Queue the input events.
 	for _, in := range c.Inputs {
 		for _, e := range waves[in].Events {
 			if e.Time > horizon {
 				break
 			}
-			s.push(&event{time: e.Time, net: in, val: e.Value, input: true})
+			s.push(event{time: e.Time, net: in, val: e.Value})
 		}
 	}
 	s.run(horizon)
 	return s.result(horizon), nil
 }
 
+// event is one scheduled change: a primary-input edge (inst == nil) or a
+// gate output update (inst != nil). Events are values, not pointers — the
+// queue never allocates per push.
 type event struct {
-	time  float64
-	seq   int64
-	input bool // primary-input change
-	net   string
-	val   bool
-	inst  *instState // gate output update (when input is false)
+	time float64
+	seq  int64
+	net  string
+	val  bool
+	inst *instState // gate output update when non-nil
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+func (e event) before(o event) bool {
+	if e.time != o.time {
+		return e.time < o.time
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 type instState struct {
 	inst      *circuit.Instance
 	graph     *gate.Graph
-	nodes     []bool    // current node states (charge retention)
-	caps      []float64 // per node, internal nodes only meaningful
+	eval      *gate.Evaluator
+	nodes     []bool        // current node states (charge retention)
+	scratch   []bool        // double buffer for the next node states
+	internal  []gate.NodeID // cached internal-node list
+	caps      []float64     // per node, internal nodes only meaningful
 	outCap    float64
 	pinDelays []float64 // per pin (Elmore mode)
 	delay     float64   // unit-mode delay
 	energy    float64
+	dirty     bool // pending re-evaluation (zero-delay settle)
 }
 
 type simulator struct {
@@ -180,7 +274,7 @@ type simulator struct {
 	insts   []*instState
 	readers map[string][]*instState // net → gates reading it
 	values  map[string]bool         // current net values
-	queue   eventQueue
+	queue   []event                 // hand-rolled binary min-heap
 	seq     int64
 	halfCV2 float64
 
@@ -214,13 +308,16 @@ func newSimulator(c *circuit.Circuit, prm Params) (*simulator, error) {
 			return nil, fmt.Errorf("sim: instance %s: %w", g.Name, err)
 		}
 		st := &instState{
-			inst:   g,
-			graph:  gr,
-			nodes:  make([]bool, gr.NumNodes),
-			caps:   make([]float64, gr.NumNodes),
-			outCap: prm.Cap.Cj*float64(gr.Degree(gate.Y)) + prm.Cap.OutputLoad(fanout[g.Out]),
+			inst:     g,
+			graph:    gr,
+			eval:     gr.NewEvaluator(),
+			nodes:    make([]bool, gr.NumNodes),
+			scratch:  make([]bool, gr.NumNodes),
+			internal: gr.InternalNodes(),
+			caps:     make([]float64, gr.NumNodes),
+			outCap:   prm.Cap.Cj*float64(gr.Degree(gate.Y)) + prm.Cap.OutputLoad(fanout[g.Out]),
 		}
-		for _, nk := range gr.InternalNodes() {
+		for _, nk := range st.internal {
 			st.caps[nk] = prm.Cap.Cj * float64(gr.Degree(nk))
 		}
 		switch prm.Mode {
@@ -242,16 +339,16 @@ func newSimulator(c *circuit.Circuit, prm Params) (*simulator, error) {
 }
 
 // settle establishes the t=0 steady state without accounting energy.
-func (s *simulator) settle(init map[string]bool) error {
+func (s *simulator) settle(init map[string]bool) {
 	for net, v := range init {
 		s.values[net] = v
 	}
 	for _, st := range s.insts { // insts are in topological order
 		m := s.minterm(st)
-		st.nodes = st.graph.NodeStateAt(m, nil)
+		next := st.eval.StateAt(m, nil, st.scratch)
+		st.nodes, st.scratch = next, st.nodes
 		s.values[st.inst.Out] = st.nodes[gate.Y]
 	}
-	return nil
 }
 
 func (s *simulator) minterm(st *instState) uint {
@@ -264,21 +361,65 @@ func (s *simulator) minterm(st *instState) uint {
 	return m
 }
 
-func (s *simulator) push(e *event) {
+// push inserts an event into the min-heap. The heap is hand-rolled over a
+// value slice: no container/heap interface boxing, no per-event
+// allocation once the slice has grown to the working-set size.
+func (s *simulator) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, e)
+	q := append(s.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	s.queue = q
+}
+
+// pop removes the earliest event.
+func (s *simulator) pop() event {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the inst pointer
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && q[l].before(q[least]) {
+			least = l
+		}
+		if r < n && q[r].before(q[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	s.queue = q
+	return top
 }
 
 func (s *simulator) run(horizon float64) {
-	heap.Init(&s.queue)
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
+	if s.prm.Mode == ZeroDelay {
+		s.runZero(horizon)
+		return
+	}
+	for len(s.queue) > 0 {
+		e := s.pop()
 		if e.time > horizon {
 			break
 		}
 		s.events++
-		if e.input {
+		if e.inst == nil {
 			if s.values[e.net] == e.val {
 				continue
 			}
@@ -313,21 +454,94 @@ func (s *simulator) run(horizon float64) {
 	}
 }
 
+// runZero is the zero-delay loop: all input events sharing a timestamp are
+// applied together, then the affected cone settles once, in topological
+// order. Each gate is evaluated at most once per instant with its final
+// input values, so the settled state — and every metered transition — is
+// independent of event ordering within the instant, exactly the semantics
+// the compiled bit-parallel engine implements (the lane-equivalence
+// property test in compile_test.go holds the two engines to it).
+func (s *simulator) runZero(horizon float64) {
+	for len(s.queue) > 0 {
+		t := s.queue[0].time
+		if t > horizon {
+			break
+		}
+		changed := false
+		for len(s.queue) > 0 && s.queue[0].time == t {
+			e := s.pop()
+			s.events++
+			if s.values[e.net] == e.val {
+				continue
+			}
+			s.values[e.net] = e.val
+			s.netTrans[e.net]++
+			if s.observe != nil {
+				s.observe(t, e.net, e.val)
+			}
+			for _, st := range s.readers[e.net] {
+				st.dirty = true
+			}
+			changed = true
+		}
+		if changed {
+			s.settleDirty(t)
+		}
+	}
+}
+
+// settleDirty re-evaluates every gate whose fan-in changed, in topological
+// order, metering internal and output transitions. A gate's output change
+// marks its readers dirty; readers appear later in the order, so a single
+// pass settles the whole cone.
+func (s *simulator) settleDirty(t float64) {
+	for _, st := range s.insts {
+		if !st.dirty {
+			continue
+		}
+		st.dirty = false
+		s.events++
+		m := s.minterm(st)
+		next := st.eval.StateAt(m, st.nodes, st.scratch)
+		for _, nk := range st.internal {
+			if next[nk] != st.nodes[nk] {
+				s.internalFlips++
+				st.energy += s.halfCV2 * st.caps[nk]
+			}
+		}
+		st.nodes, st.scratch = next, st.nodes
+		y := st.nodes[gate.Y]
+		if y == s.values[st.inst.Out] {
+			continue
+		}
+		s.values[st.inst.Out] = y
+		s.netTrans[st.inst.Out]++
+		s.outputFlips++
+		if s.observe != nil {
+			s.observe(t, st.inst.Out, y)
+		}
+		st.energy += s.halfCV2 * st.outCap
+		for _, rd := range s.readers[st.inst.Out] {
+			rd.dirty = true
+		}
+	}
+}
+
 // reevaluate recomputes a gate's internal nodes after one of its inputs
 // changed, meters internal transitions immediately, and schedules the
 // output net update after the gate delay.
 func (s *simulator) reevaluate(st *instState, now float64) {
 	m := s.minterm(st)
-	next := st.graph.NodeStateAt(m, st.nodes)
-	for _, nk := range st.graph.InternalNodes() {
+	next := st.eval.StateAt(m, st.nodes, st.scratch)
+	for _, nk := range st.internal {
 		if next[nk] != st.nodes[nk] {
 			s.internalFlips++
 			st.energy += s.halfCV2 * st.caps[nk]
 		}
 	}
 	prevY := st.nodes[gate.Y]
-	st.nodes = next
-	if next[gate.Y] == prevY && next[gate.Y] == s.values[st.inst.Out] {
+	st.nodes, st.scratch = next, st.nodes
+	if st.nodes[gate.Y] == prevY && st.nodes[gate.Y] == s.values[st.inst.Out] {
 		return
 	}
 	d := st.delay
@@ -341,7 +555,7 @@ func (s *simulator) reevaluate(st *instState, now float64) {
 			}
 		}
 	}
-	s.push(&event{time: now + d, inst: st})
+	s.push(event{time: now + d, inst: st})
 }
 
 func (s *simulator) result(horizon float64) *Result {

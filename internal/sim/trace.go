@@ -50,9 +50,7 @@ func RunTrace(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon floa
 		}
 		init[in] = w.Initial
 	}
-	if err := s.settle(init); err != nil {
-		return nil, nil, err
-	}
+	s.settle(init)
 	for _, n := range tr.Nets {
 		tr.Initial[n] = s.values[n]
 	}
@@ -61,7 +59,7 @@ func RunTrace(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon floa
 			if e.Time > horizon {
 				break
 			}
-			s.push(&event{time: e.Time, net: in, val: e.Value, input: true})
+			s.push(event{time: e.Time, net: in, val: e.Value})
 		}
 	}
 	s.run(horizon)

@@ -68,6 +68,95 @@ func TestWriteVCDWellFormed(t *testing.T) {
 	}
 }
 
+func TestRunTraceEmptyWaveform(t *testing.T) {
+	// No events at all: the trace must still carry the settled initial
+	// state and produce a well-formed VCD.
+	c := invCircuit()
+	waves := map[string]*stoch.Waveform{"a": {Initial: true}}
+	res, tr, err := RunTrace(c, waves, 1e-6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Changes) != 0 || res.Energy != 0 {
+		t.Errorf("quiet circuit recorded %d changes, %g J", len(tr.Changes), res.Energy)
+	}
+	if tr.Initial["z"] != false { // inv(1) settles to 0
+		t.Error("initial settle wrong for constant-1 input")
+	}
+	var buf strings.Builder
+	if err := tr.WriteVCD(&buf, "quiet"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"$dumpvars", "1!", "0\""} { // a=1, z=0
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("VCD missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunTraceSingleEventWaveform(t *testing.T) {
+	c := invCircuit()
+	waves := map[string]*stoch.Waveform{
+		"a": {Initial: false, Events: []stoch.Event{{Time: 1e-6, Value: true}}},
+	}
+	res, tr, err := RunTrace(c, waves, 2e-6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Changes) != 2 { // a rises, z falls one unit delay later
+		t.Fatalf("trace has %d changes, want 2", len(tr.Changes))
+	}
+	if res.NetTransitions["z"] != 1 {
+		t.Errorf("z transitions = %d, want 1", res.NetTransitions["z"])
+	}
+	if tr.Changes[0].Time >= tr.Changes[1].Time {
+		t.Error("z change not after a change")
+	}
+}
+
+func TestRunTraceHorizonBeforeFirstEvent(t *testing.T) {
+	c := invCircuit()
+	waves := map[string]*stoch.Waveform{
+		"a": {Initial: false, Events: []stoch.Event{{Time: 5e-6, Value: true}}},
+	}
+	res, tr, err := RunTrace(c, waves, 1e-6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Changes) != 0 || res.NetTransitions["a"] != 0 {
+		t.Errorf("event beyond horizon traced: %d changes", len(tr.Changes))
+	}
+	// The VCD still closes at the horizon timestamp.
+	var buf strings.Builder
+	if err := tr.WriteVCD(&buf, "short"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#1000000") {
+		t.Error("VCD does not close at the 1 µs horizon")
+	}
+}
+
+func TestRunTraceZeroDelayMode(t *testing.T) {
+	// The zero-delay settle path must drive the observe hook too: input
+	// and output change in the same instant.
+	c := invCircuit()
+	waves := map[string]*stoch.Waveform{
+		"a": {Initial: false, Events: []stoch.Event{{Time: 1e-6, Value: true}}},
+	}
+	prm := DefaultParams()
+	prm.Mode = ZeroDelay
+	_, tr, err := RunTrace(c, waves, 2e-6, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Changes) != 2 {
+		t.Fatalf("trace has %d changes, want 2", len(tr.Changes))
+	}
+	if tr.Changes[0].Time != tr.Changes[1].Time {
+		t.Error("zero-delay output change not simultaneous with its cause")
+	}
+}
+
 func TestVCDIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for i := 0; i < 500; i++ {

@@ -1,0 +1,151 @@
+package stoch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxLanes is the number of independent Monte Carlo vector streams a
+// PackedStimulus can carry: one per bit of a machine word.
+const MaxLanes = 64
+
+// PackedStimulus is a bit-packed Monte Carlo stimulus for the compiled
+// bit-parallel simulator: up to 64 independent input-vector sequences,
+// one per bit lane. Step s of lane l is the state of every primary input
+// after the lane's s-th zero-delay settling instant; lanes with fewer
+// instants than Steps simply repeat their final state (no transitions, no
+// energy). All simultaneous input changes of one instant share a step, so
+// a zero-delay circuit sees them atomically — the same grouping the
+// event-driven engine applies per timestamp.
+type PackedStimulus struct {
+	Inputs  []string   // primary-input order; Bits and Initial are parallel to it
+	Lanes   int        // active lanes, 1..MaxLanes
+	Steps   int        // settling instants in the longest lane
+	Horizon float64    // per-lane simulated seconds (power normalization)
+	Initial []uint64   // [input] lane bits at t=0, before any step
+	Bits    [][]uint64 // [input][step] lane bits after the step
+}
+
+// LaneMask returns the word mask selecting the active lanes.
+func (ps *PackedStimulus) LaneMask() uint64 {
+	if ps.Lanes >= MaxLanes {
+		return ^uint64(0)
+	}
+	return uint64(1)<<ps.Lanes - 1
+}
+
+// Validate checks structural sanity.
+func (ps *PackedStimulus) Validate() error {
+	if ps.Lanes < 1 || ps.Lanes > MaxLanes {
+		return fmt.Errorf("stoch: %d lanes out of [1,%d]", ps.Lanes, MaxLanes)
+	}
+	if ps.Horizon <= 0 {
+		return fmt.Errorf("stoch: packed horizon %v must be positive", ps.Horizon)
+	}
+	if len(ps.Initial) != len(ps.Inputs) || len(ps.Bits) != len(ps.Inputs) {
+		return fmt.Errorf("stoch: packed stimulus shape mismatch: %d inputs, %d initial, %d bit rows",
+			len(ps.Inputs), len(ps.Initial), len(ps.Bits))
+	}
+	for i, row := range ps.Bits {
+		if len(row) != ps.Steps {
+			return fmt.Errorf("stoch: input %q has %d steps, want %d", ps.Inputs[i], len(row), ps.Steps)
+		}
+	}
+	return nil
+}
+
+// packedEvent is one input change of one lane during packing.
+type packedEvent struct {
+	time  float64
+	input int
+	value bool
+}
+
+// PackWaveforms bit-packs per-lane waveform sets into a PackedStimulus:
+// lanes[l] maps every input name to that lane's waveform (the shape
+// GenerateWaveforms in package sim produces). Events beyond the horizon
+// are dropped, events at the same instant within a lane collapse into one
+// step, and events that do not change the input value contribute no step —
+// the packed sequence records exactly the settling instants a zero-delay
+// simulation of the same waveforms would see.
+func PackWaveforms(inputs []string, lanes []map[string]*Waveform, horizon float64) (*PackedStimulus, error) {
+	if len(lanes) < 1 || len(lanes) > MaxLanes {
+		return nil, fmt.Errorf("stoch: %d lanes out of [1,%d]", len(lanes), MaxLanes)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("stoch: packed horizon %v must be positive", horizon)
+	}
+	ps := &PackedStimulus{
+		Inputs:  append([]string(nil), inputs...),
+		Lanes:   len(lanes),
+		Horizon: horizon,
+		Initial: make([]uint64, len(inputs)),
+	}
+	// Per lane: the sequence of input-state snapshots, one per instant at
+	// which at least one input actually changes.
+	snapshots := make([][][]bool, len(lanes))
+	for l, waves := range lanes {
+		state := make([]bool, len(inputs))
+		var evs []packedEvent
+		for i, in := range inputs {
+			w, ok := waves[in]
+			if !ok {
+				return nil, fmt.Errorf("stoch: lane %d has no waveform for input %q", l, in)
+			}
+			state[i] = w.Initial
+			if w.Initial {
+				ps.Initial[i] |= 1 << l
+			}
+			for _, e := range w.Events {
+				if e.Time > horizon {
+					break
+				}
+				evs = append(evs, packedEvent{time: e.Time, input: i, value: e.Value})
+			}
+		}
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].time < evs[b].time })
+		for k := 0; k < len(evs); {
+			t := evs[k].time
+			changed := false
+			for ; k < len(evs) && evs[k].time == t; k++ {
+				if state[evs[k].input] != evs[k].value {
+					state[evs[k].input] = evs[k].value
+					changed = true
+				}
+			}
+			if changed {
+				snapshots[l] = append(snapshots[l], append([]bool(nil), state...))
+			}
+		}
+	}
+	for _, seq := range snapshots {
+		if len(seq) > ps.Steps {
+			ps.Steps = len(seq)
+		}
+	}
+	ps.Bits = make([][]uint64, len(inputs))
+	for i := range inputs {
+		ps.Bits[i] = make([]uint64, ps.Steps)
+	}
+	for l, seq := range snapshots {
+		for s := 0; s < ps.Steps; s++ {
+			var snap []bool
+			switch {
+			case s < len(seq):
+				snap = seq[s]
+			case len(seq) > 0:
+				snap = seq[len(seq)-1] // lane exhausted: hold final state
+			}
+			for i := range inputs {
+				v := snap != nil && snap[i]
+				if snap == nil { // lane has no events at all: hold initial
+					v = ps.Initial[i]>>l&1 == 1
+				}
+				if v {
+					ps.Bits[i][s] |= 1 << l
+				}
+			}
+		}
+	}
+	return ps, nil
+}

@@ -20,6 +20,11 @@
 //     Options.Stream and/or handed to Options.OnResult, while Run's
 //     return value keeps the deterministic job order for the aggregate
 //     table.
+//
+// The simulated S column follows Options.Expt.Sim: zero-delay jobs run on
+// the compiled bit-parallel engine (Options.Expt.SimVectors Monte Carlo
+// lanes per word — see internal/sim's Compile/RunPacked), unit- and
+// Elmore-delay jobs on the event-driven reference engine.
 package sweep
 
 import (
