@@ -33,7 +33,9 @@ type (
 	Network = netlist.Network
 	// PowerParams holds the electrical constants of the power model.
 	PowerParams = core.Params
-	// OptimizeOptions configures the reordering optimizer.
+	// OptimizeOptions configures the reordering optimizer, including the
+	// Workers field bounding its parallel candidate-search phase (0 =
+	// GOMAXPROCS; results are bit-identical for any worker count).
 	OptimizeOptions = reorder.Options
 	// OptimizeReport summarizes an optimization run.
 	OptimizeReport = reorder.Report
@@ -154,7 +156,10 @@ func EstimatePower(c *Circuit, pi map[string]Signal) (*CircuitAnalysis, error) {
 }
 
 // Optimize runs the paper's optimization algorithm (Fig. 3) and returns
-// the reordered circuit with a before/after power report.
+// the reordered circuit with a before/after power report. In the pure
+// power modes the per-gate candidate search fans out over opt.Workers
+// goroutines (two-phase: read-only parallel search, serial commit) with
+// bit-identical reports under any worker count.
 func Optimize(c *Circuit, pi map[string]Signal, opt OptimizeOptions) (*OptimizeReport, error) {
 	return reorder.Optimize(c, pi, opt)
 }

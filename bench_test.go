@@ -569,6 +569,51 @@ func BenchmarkBitParallelVsEvent(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelOptimizer measures the PR-3 tentpole: the two-phase
+// candidate-search engine on the largest embedded benchmark, serial
+// versus N workers. Each iteration is a whole Optimize call (clone,
+// incremental construction, parallel search, serial commit); the
+// parallel phase dominates because every gate evaluates its full
+// configuration orbit while the serial parts evaluate each gate once.
+// The configuration-orbit and template caches are warmed by a discarded
+// run so every variant measures the steady-state search. Reports are
+// bit-identical across worker counts (asserted here and in
+// reorder.TestOptimizeWorkerEquivalence); target is ≥4x wall-clock at 8
+// workers on a multi-core host.
+func BenchmarkParallelOptimizer(b *testing.B) {
+	lib := repro.DefaultLibrary()
+	c := largestEmbedded(b, lib)
+	pi := repro.UniformInputs(c, 0.5, 1e5)
+	opt := reorder.DefaultOptions()
+	opt.Workers = 1
+	warm, err := reorder.Optimize(c, pi, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("benchmark %s: %d gates, %d reconfigured", c.Name, len(c.Gates), warm.GatesChanged)
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := reorder.DefaultOptions()
+			opt.Workers = workers
+			for i := 0; i < b.N; i++ {
+				rep, err := reorder.Optimize(c, pi, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.PowerAfter != warm.PowerAfter || rep.GatesChanged != warm.GatesChanged {
+					b.Fatalf("workers=%d diverged: power %g (want %g), changed %d (want %d)",
+						workers, rep.PowerAfter, warm.PowerAfter, rep.GatesChanged, warm.GatesChanged)
+				}
+			}
+			b.ReportMetric(float64(len(c.Gates))*float64(b.N)/b.Elapsed().Seconds(), "gates/sec")
+		})
+	}
+}
+
 // BenchmarkSweepWorkers measures the sweep engine's scaling: the same
 // model-only job set under 1 worker and under GOMAXPROCS workers.
 func BenchmarkSweepWorkers(b *testing.B) {

@@ -33,17 +33,21 @@ func main() {
 	seed := flag.Int64("seed", 1996, "seed for scenario A statistics")
 	mode := flag.String("mode", "full", "search space: full, input-only, delay-rule or delay-neutral")
 	objective := flag.String("objective", "min", "min or max (max yields the worst reordering)")
+	workers := flag.Int("workers", 0, "parallel candidate-search workers (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
 	verify := flag.Bool("verify", false, "check functional equivalence of the result")
 	flag.Parse()
-	if err := run(*in, *out, *statsFile, *scenario, *seed, *mode, *objective, *verify); err != nil {
+	if err := run(*in, *out, *statsFile, *scenario, *seed, *mode, *objective, *workers, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "lowpower:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, statsFile, scenario string, seed int64, mode, objective string, verify bool) error {
+func run(in, out, statsFile, scenario string, seed int64, mode, objective string, workers int, verify bool) error {
 	if in == "" {
 		return fmt.Errorf("missing -in")
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers %d is negative", workers)
 	}
 	lib := library.Default()
 	c, err := cli.LoadCircuit(in, lib)
@@ -55,6 +59,7 @@ func run(in, out, statsFile, scenario string, seed int64, mode, objective string
 		return err
 	}
 	opt := reorder.DefaultOptions()
+	opt.Workers = workers
 	switch mode {
 	case "full":
 		opt.Mode = reorder.Full

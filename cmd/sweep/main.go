@@ -44,6 +44,7 @@ func run() error {
 		modes     = flag.String("modes", "full", "comma-separated modes: full,input-only,delay-rule,delay-neutral")
 		seeds     = flag.String("seeds", "", "comma-separated replicate seeds (default: 1996)")
 		workers   = flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS)")
+		optWork   = flag.Int("opt-workers", 0, "per-job optimizer candidate-search workers (default: 1, serial; the job pool owns the parallelism)")
 		nosim     = flag.Bool("nosim", false, "skip switch-level simulation (S column reads 0)")
 		jsonl     = flag.String("jsonl", "", "stream one JSON object per finished job to this file ('-' for stdout)")
 		horizon   = flag.Float64("horizon", 0, "scenario A simulation horizon in seconds (0 = default)")
@@ -93,6 +94,10 @@ func run() error {
 	if *workers > 0 {
 		opt.Workers = *workers
 	}
+	if *optWork < 0 {
+		return fmt.Errorf("-opt-workers %d is negative", *optWork)
+	}
+	opt.OptimizerWorkers = *optWork
 	opt.Simulate = !*nosim
 	if *horizon > 0 {
 		opt.Expt.HorizonA = *horizon

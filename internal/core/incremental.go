@@ -3,6 +3,8 @@ package core
 import (
 	"container/heap"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/gate"
@@ -19,31 +21,49 @@ import (
 // gate itself (the Section 4.2 monotonic property); replacing a primary
 // input's statistics re-propagates only the nets that actually move.
 //
+// Internally every net name is interned to a dense integer ID at
+// construction and every gate's pin bindings are pre-resolved to those
+// IDs, so the hot propagation loop indexes flat slices instead of hashing
+// strings. The string-keyed API (NetSignal, SetConfig, …) survives as a
+// thin shim over the ID-based fast paths (NetSignalID, SetConfigAt, …).
+//
 // The engine is what makes the optimizer's inner loop cheap — one gate-model
 // evaluation per accepted move instead of a whole-circuit re-analysis — and
 // what the sweep harness leans on when it revisits the same circuit under
 // many input scenarios.
 //
 // An Incremental holds a reference to the circuit it was built from and
-// mutates that circuit's instances through SetConfig. It is not safe for
-// concurrent use; give each worker its own.
+// mutates that circuit's instances through SetConfig. Mutating methods
+// are not safe for concurrent use; concurrent readers (NetSignal, Load,
+// InputsAt, …) are safe as long as no mutation is in flight — the
+// property the optimizer's read-only parallel phase relies on.
 type Incremental struct {
 	c   *circuit.Circuit
 	prm Params
 
-	order  []*circuit.Instance // topological order, fixed at construction
-	pos    map[string]int      // instance name → index in order
-	reader map[string][]int    // net → positions of the gates reading it
-	load   []float64           // output load per position
+	order []*circuit.Instance // topological order, fixed at construction
+	pos   map[string]int      // instance name → index in order (string shim)
 
-	stats  map[string]stoch.Signal // current statistics per net
-	gates  []gateState             // per-position power bookkeeping
-	power  float64                 // running total, watts
-	intern float64                 // running internal-node total
-	outp   float64                 // running output-node total
+	netID   map[string]int // net name → dense ID (string shim)
+	netName []string       // dense ID → net name
+	reader  [][]int32      // net ID → positions of the gates reading it
+	pins    [][]int32      // position → net IDs of the gate's input pins
+	outID   []int32        // position → net ID of the gate's output
+	load    []float64      // output load per position
+
+	stats []stoch.Signal // current statistics per net ID
+	known []bool         // per net ID: stats have been assigned
+	gates []gateState    // per-position power bookkeeping
+	tmpl  []*template    // per-position template, resolved lazily, reset on config change
+	power float64        // running total, watts
+	inter float64        // running internal-node total
+	outp  float64        // running output-node total
 
 	frontier   posHeap
 	inFrontier []bool
+
+	inBuf   []stoch.Signal // scratch pin signals for evalGate
+	probBuf []float64      // scratch pin probabilities for evalGate
 
 	recomputed int // gate-model evaluations since construction (diagnostics)
 }
@@ -72,6 +92,36 @@ func (h *posHeap) Pop() interface{} {
 // must not be structurally modified (nets, pins, instances) while the
 // engine is live; configurations must change only through SetConfig.
 func NewIncremental(c *circuit.Circuit, pi map[string]stoch.Signal, prm Params) (*Incremental, error) {
+	return NewIncrementalParallel(c, pi, prm, 1)
+}
+
+// NewIncrementalParallel is NewIncremental with the initial full analysis
+// fanned over a wavefront worker pool: gates become ready as their last
+// driver finishes, so independent cones evaluate concurrently. Gate
+// evaluations write disjoint state and the totals are summed serially in
+// topological order afterwards, so the resulting engine state is
+// bit-identical to the serial construction for any worker count.
+// workers ≤ 1 runs serially; 0 is treated as 1 (use runtime.GOMAXPROCS
+// at the call site to saturate the machine).
+func NewIncrementalParallel(c *circuit.Circuit, pi map[string]stoch.Signal, prm Params, workers int) (*Incremental, error) {
+	return NewIncrementalParallelFunc(c, pi, prm, workers, nil)
+}
+
+// NewIncrementalParallelFunc is NewIncrementalParallel with a per-gate
+// hook riding the construction wavefront: onGate(inc, i) runs once per
+// gate, after the gate at position i has been evaluated and its output
+// statistics settled, on the evaluating worker goroutine (inline, in
+// topological order, when workers ≤ 1). The optimizer fuses its read-only
+// candidate search into the wavefront through it, overlapping the search
+// with the initial analysis instead of serializing behind it.
+//
+// onGate must confine itself to reading engine state at positions whose
+// statistics are settled — position i's pins and loads qualify — and must
+// be safe to call concurrently for different positions. A non-nil error
+// from the hook fails construction; when several gates fail (hook or
+// evaluation), the error of the lowest position is returned, matching
+// what a serial pass would hit first.
+func NewIncrementalParallelFunc(c *circuit.Circuit, pi map[string]stoch.Signal, prm Params, workers int, onGate func(*Incremental, int) error) (*Incremental, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
 	}
@@ -85,19 +135,42 @@ func NewIncremental(c *circuit.Circuit, pi map[string]stoch.Signal, prm Params) 
 		prm:        prm,
 		order:      order,
 		pos:        make(map[string]int, len(order)),
-		reader:     make(map[string][]int),
+		netID:      make(map[string]int, len(c.Inputs)+len(order)),
 		load:       make([]float64, len(order)),
-		stats:      make(map[string]stoch.Signal, len(pi)+len(order)),
+		pins:       make([][]int32, len(order)),
+		outID:      make([]int32, len(order)),
 		gates:      make([]gateState, len(order)),
+		tmpl:       make([]*template, len(order)),
 		inFrontier: make([]bool, len(order)),
+	}
+	intern := func(net string) int32 {
+		id, ok := inc.netID[net]
+		if !ok {
+			id = len(inc.netName)
+			inc.netID[net] = id
+			inc.netName = append(inc.netName, net)
+		}
+		return int32(id)
+	}
+	for _, in := range c.Inputs {
+		intern(in)
 	}
 	for i, g := range order {
 		inc.pos[g.Name] = i
 		inc.load[i] = prm.OutputLoad(fanout[g.Out])
+		inc.outID[i] = intern(g.Out)
+		ids := make([]int32, len(g.Pins))
+		for k, p := range g.Pins {
+			ids[k] = intern(p)
+		}
+		inc.pins[i] = ids
 	}
-	for i, g := range order {
-		for _, p := range g.Pins {
-			inc.reader[p] = append(inc.reader[p], i)
+	inc.stats = make([]stoch.Signal, len(inc.netName))
+	inc.known = make([]bool, len(inc.netName))
+	inc.reader = make([][]int32, len(inc.netName))
+	for i := range order {
+		for _, id := range inc.pins[i] {
+			inc.reader[id] = append(inc.reader[id], int32(i))
 		}
 	}
 	for _, in := range c.Inputs {
@@ -108,59 +181,200 @@ func NewIncremental(c *circuit.Circuit, pi map[string]stoch.Signal, prm Params) 
 		if err := s.Validate(); err != nil {
 			return nil, fmt.Errorf("core: input %q: %w", in, err)
 		}
-		inc.stats[in] = s
+		id := inc.netID[in]
+		inc.stats[id] = s
+		inc.known[id] = true
 	}
-	for i := range order {
-		if err := inc.evalGate(i); err != nil {
-			return nil, err
-		}
-	}
-	// The initial pass visits every gate in topological order already; the
-	// reader-dirtying it did along the way is redundant, so start mutations
-	// from an empty frontier.
-	inc.frontier = inc.frontier[:0]
-	for i := range inc.inFrontier {
-		inc.inFrontier[i] = false
+	if err := inc.initialAnalysis(workers, onGate); err != nil {
+		return nil, err
 	}
 	return inc, nil
 }
 
-// evalGate re-evaluates the gate model at position i against the current
-// statistics, applies the power delta, and returns whether the gate's
-// output statistics changed.
-func (inc *Incremental) evalGate(i int) error {
-	g := inc.order[i]
-	in := make([]stoch.Signal, len(g.Pins))
-	for k, p := range g.Pins {
-		s, ok := inc.stats[p]
-		if !ok {
-			return fmt.Errorf("core: instance %s reads unannotated net %q", g.Name, p)
-		}
-		in[k] = s
+// initialAnalysis evaluates every gate once — serially in topological
+// order, or on a wavefront pool — then folds the per-gate results into
+// the running totals in position order (the same floating-point addition
+// sequence either way). onGate, if non-nil, runs per gate right after its
+// evaluation.
+func (inc *Incremental) initialAnalysis(workers int, onGate func(*Incremental, int) error) error {
+	n := len(inc.order)
+	if workers > n {
+		workers = n
 	}
-	a, err := AnalyzeGate(g.Cell, in, inc.load[i], inc.prm)
+	if workers <= 1 {
+		var inBuf []stoch.Signal
+		var probBuf []float64
+		for i := 0; i < n; i++ {
+			if err := inc.evalInit(i, &inBuf, &probBuf); err != nil {
+				return err
+			}
+			if onGate != nil {
+				if err := onGate(inc, i); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		// Wavefront schedule: pending[i] counts i's gate-driven pins;
+		// a gate enters the ready queue when its last driver completes.
+		// Each evaluation writes only its own gates[i] slot and its own
+		// output net's stats — disjoint across concurrent gates because
+		// every net has exactly one driver.
+		pending := make([]int32, n)
+		driven := make([]bool, len(inc.netName))
+		for i := 0; i < n; i++ {
+			driven[inc.outID[i]] = true
+		}
+		for i := 0; i < n; i++ {
+			for _, id := range inc.pins[i] {
+				if driven[id] {
+					pending[i]++
+				}
+			}
+		}
+		ready := make(chan int, n)
+		for i := 0; i < n; i++ {
+			if pending[i] == 0 {
+				ready <- i
+			}
+		}
+		errs := make([]error, n)
+		var hookErrs []error
+		if onGate != nil {
+			hookErrs = make([]error, n)
+		}
+		remaining := int32(n)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var inBuf []stoch.Signal
+				var probBuf []float64
+				for i := range ready {
+					errs[i] = inc.evalInit(i, &inBuf, &probBuf)
+					// Unblock downstream gates before running the hook:
+					// the search work rides behind the propagation front.
+					for _, r := range inc.reader[inc.outID[i]] {
+						if atomic.AddInt32(&pending[r], -1) == 0 {
+							ready <- int(r)
+						}
+					}
+					if errs[i] == nil && onGate != nil {
+						hookErrs[i] = onGate(inc, i)
+					}
+					if atomic.AddInt32(&remaining, -1) == 0 {
+						close(ready)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		// Report the lowest-position failure: identical to the error the
+		// serial pass would hit first (a gate's evaluability depends only
+		// on its own pins, never on scheduling).
+		for i := range errs {
+			if errs[i] != nil {
+				return errs[i]
+			}
+			if hookErrs != nil && hookErrs[i] != nil {
+				return hookErrs[i]
+			}
+		}
+	}
+	for i := range inc.gates {
+		inc.power += inc.gates[i].power
+		inc.inter += inc.gates[i].intern
+		inc.outp += inc.gates[i].outp
+	}
+	inc.recomputed += n
+	return nil
+}
+
+// evalInit is the construction-time gate evaluation: like evalGate but
+// with caller-owned scratch (safe for wavefront workers), no delta
+// bookkeeping (totals are folded afterwards) and no frontier dirtying
+// (the initial pass covers every gate already).
+func (inc *Incremental) evalInit(i int, inBuf *[]stoch.Signal, probBuf *[]float64) error {
+	g := inc.order[i]
+	ids := inc.pins[i]
+	if cap(*inBuf) < len(ids) {
+		*inBuf = make([]stoch.Signal, len(ids))
+		*probBuf = make([]float64, len(ids))
+	}
+	in := (*inBuf)[:len(ids)]
+	probs := (*probBuf)[:len(ids)]
+	for k, id := range ids {
+		if !inc.known[id] {
+			return fmt.Errorf("core: instance %s reads unannotated net %q", g.Name, inc.netName[id])
+		}
+		in[k] = inc.stats[id]
+		probs[k] = in[k].P
+	}
+	tmpl, err := templates.get(g.Cell)
 	if err != nil {
 		return fmt.Errorf("core: instance %s: %w", g.Name, err)
 	}
+	inc.tmpl[i] = tmpl
+	a := evalTemplate(tmpl, in, probs, inc.load[i], inc.prm)
+	inc.gates[i] = gateState{power: a.Power, intern: a.InternalPower, outp: a.OutputPower}
+	out := inc.outID[i]
+	inc.stats[out] = a.Out
+	inc.known[out] = true
+	return nil
+}
+
+// evalGate re-evaluates the gate model at position i against the current
+// statistics, applies the power delta, and dirties the output's readers
+// if the gate's output statistics changed. It reuses the engine's scratch
+// buffers and the summary template evaluator: no allocation on the hot
+// path.
+func (inc *Incremental) evalGate(i int) error {
+	g := inc.order[i]
+	ids := inc.pins[i]
+	if cap(inc.inBuf) < len(ids) {
+		inc.inBuf = make([]stoch.Signal, len(ids))
+		inc.probBuf = make([]float64, len(ids))
+	}
+	in := inc.inBuf[:len(ids)]
+	probs := inc.probBuf[:len(ids)]
+	for k, id := range ids {
+		if !inc.known[id] {
+			return fmt.Errorf("core: instance %s reads unannotated net %q", g.Name, inc.netName[id])
+		}
+		in[k] = inc.stats[id]
+		probs[k] = in[k].P
+	}
+	tmpl := inc.tmpl[i]
+	if tmpl == nil {
+		var err error
+		if tmpl, err = templates.get(g.Cell); err != nil {
+			return fmt.Errorf("core: instance %s: %w", g.Name, err)
+		}
+		inc.tmpl[i] = tmpl
+	}
+	a := evalTemplate(tmpl, in, probs, inc.load[i], inc.prm)
 	inc.recomputed++
 	old := inc.gates[i]
 	inc.power += a.Power - old.power
-	inc.intern += a.InternalPower - old.intern
+	inc.inter += a.InternalPower - old.intern
 	inc.outp += a.OutputPower - old.outp
 	inc.gates[i] = gateState{power: a.Power, intern: a.InternalPower, outp: a.OutputPower}
-	if prev, ok := inc.stats[g.Out]; !ok || prev != a.Out {
-		inc.stats[g.Out] = a.Out
-		inc.dirtyReaders(g.Out)
+	out := inc.outID[i]
+	if !inc.known[out] || inc.stats[out] != a.Out {
+		inc.stats[out] = a.Out
+		inc.known[out] = true
+		inc.dirtyReaders(out)
 	}
 	return nil
 }
 
 // dirtyReaders pushes every gate reading the net onto the frontier.
-func (inc *Incremental) dirtyReaders(net string) {
+func (inc *Incremental) dirtyReaders(net int32) {
 	for _, r := range inc.reader[net] {
 		if !inc.inFrontier[r] {
 			inc.inFrontier[r] = true
-			heap.Push(&inc.frontier, r)
+			heap.Push(&inc.frontier, int(r))
 		}
 	}
 }
@@ -188,27 +402,92 @@ func (inc *Incremental) SetConfig(name string, cfg *gate.Gate) error {
 	if !ok {
 		return fmt.Errorf("core: no instance %q", name)
 	}
-	g := inc.order[i]
+	return inc.SetConfigAt(i, cfg)
+}
+
+// checkPinBinding verifies cfg exposes the instance cell's pin list in
+// the cell's order — the part of the reordering contract both commit
+// paths enforce (SetConfigAt additionally re-derives shape equivalence;
+// SetConfigEvaluated trusts the caller on shape).
+func checkPinBinding(g *circuit.Instance, cfg *gate.Gate) error {
 	if len(cfg.Inputs) != len(g.Cell.Inputs) {
 		return fmt.Errorf("core: instance %s: config %s has %d inputs, cell %s has %d",
-			name, cfg.Name, len(cfg.Inputs), g.Cell.Name, len(g.Cell.Inputs))
+			g.Name, cfg.Name, len(cfg.Inputs), g.Cell.Name, len(g.Cell.Inputs))
 	}
 	for k := range cfg.Inputs {
 		if cfg.Inputs[k] != g.Cell.Inputs[k] {
 			return fmt.Errorf("core: instance %s: config pin %d is %q, cell pin is %q",
-				name, k, cfg.Inputs[k], g.Cell.Inputs[k])
+				g.Name, k, cfg.Inputs[k], g.Cell.Inputs[k])
 		}
+	}
+	return nil
+}
+
+// SetConfigAt is SetConfig addressed by topological position (as exposed
+// by Order) — the optimizer's commit-phase fast path, which skips the
+// name lookup.
+func (inc *Incremental) SetConfigAt(i int, cfg *gate.Gate) error {
+	if i < 0 || i >= len(inc.order) {
+		return fmt.Errorf("core: position %d out of range [0,%d)", i, len(inc.order))
+	}
+	g := inc.order[i]
+	if err := checkPinBinding(g, cfg); err != nil {
+		return err
 	}
 	if cfg.ShapeKey() != g.Cell.ShapeKey() {
 		return fmt.Errorf("core: instance %s: config %s is not a reordering of cell %s",
-			name, cfg.Name, g.Cell.Name)
+			g.Name, cfg.Name, g.Cell.Name)
 	}
 	g.Cell = cfg
+	inc.tmpl[i] = nil
 	if !inc.inFrontier[i] {
 		inc.inFrontier[i] = true
 		heap.Push(&inc.frontier, i)
 	}
 	return inc.propagate()
+}
+
+// SetConfigEvaluated applies a configuration whose model evaluation the
+// caller already performed against the engine's *current* statistics and
+// load — the optimizer's commit fast path, which books the precomputed
+// power delta instead of re-evaluating the gate model. cp must be a
+// result of AnalyzeConfigs or AnalyzeConfigList over the state exposed by
+// InputsAt(i) and LoadAt(i); the engine verifies the pin binding and that
+// the configuration propagates the current output statistics (the
+// reordering invariant), falling back to a full cone re-evaluation when
+// the latter does not hold. Unlike SetConfig it does not re-derive the
+// shape equivalence: the caller vouches that cp.Config is a configuration
+// of the instance's cell.
+func (inc *Incremental) SetConfigEvaluated(i int, cp ConfigPower) error {
+	if i < 0 || i >= len(inc.order) {
+		return fmt.Errorf("core: position %d out of range [0,%d)", i, len(inc.order))
+	}
+	cfg := cp.Config
+	if cfg == nil {
+		return fmt.Errorf("core: SetConfigEvaluated with nil configuration")
+	}
+	g := inc.order[i]
+	if err := checkPinBinding(g, cfg); err != nil {
+		return err
+	}
+	g.Cell = cfg
+	inc.tmpl[i] = nil
+	old := inc.gates[i]
+	inc.power += cp.Power - old.power
+	inc.inter += cp.InternalPower - old.intern
+	inc.outp += cp.OutputPower - old.outp
+	inc.gates[i] = gateState{power: cp.Power, intern: cp.InternalPower, outp: cp.OutputPower}
+	if inc.stats[inc.outID[i]] != cp.Out {
+		// The claimed evaluation moves the output statistics: not a pure
+		// reordering under the current state (or a stale evaluation).
+		// Repropagate the cone from this gate to stay correct.
+		if !inc.inFrontier[i] {
+			inc.inFrontier[i] = true
+			heap.Push(&inc.frontier, i)
+		}
+		return inc.propagate()
+	}
+	return nil
 }
 
 // SetInputs replaces the primary-input statistics and re-evaluates only
@@ -223,9 +502,10 @@ func (inc *Incremental) SetInputs(pi map[string]stoch.Signal) error {
 		if err := s.Validate(); err != nil {
 			return fmt.Errorf("core: input %q: %w", in, err)
 		}
-		if inc.stats[in] != s {
-			inc.stats[in] = s
-			inc.dirtyReaders(in)
+		id := inc.netID[in]
+		if inc.stats[id] != s {
+			inc.stats[id] = s
+			inc.dirtyReaders(int32(id))
 		}
 	}
 	return inc.propagate()
@@ -247,19 +527,55 @@ func (inc *Incremental) Load(name string) (float64, bool) {
 	return inc.load[i], true
 }
 
+// LoadAt returns the output-load capacitance of the instance at
+// topological position i.
+func (inc *Incremental) LoadAt(i int) float64 { return inc.load[i] }
+
+// InputsAt appends the current input-pin statistics of the gate at
+// topological position i to buf (in pin order) and returns the extended
+// slice — the optimizer's per-gate read path, one slice index per pin.
+func (inc *Incremental) InputsAt(i int, buf []stoch.Signal) ([]stoch.Signal, error) {
+	g := inc.order[i]
+	for _, id := range inc.pins[i] {
+		if !inc.known[id] {
+			return nil, fmt.Errorf("core: instance %s reads unannotated net %q", g.Name, inc.netName[id])
+		}
+		buf = append(buf, inc.stats[id])
+	}
+	return buf, nil
+}
+
 // Power returns the current total model power in watts.
 func (inc *Incremental) Power() float64 { return inc.power }
 
 // InternalPower returns the current power at internal gate nodes.
-func (inc *Incremental) InternalPower() float64 { return inc.intern }
+func (inc *Incremental) InternalPower() float64 { return inc.inter }
 
 // OutputPower returns the current power at gate output nodes.
 func (inc *Incremental) OutputPower() float64 { return inc.outp }
 
+// NetID returns the dense integer ID of a net, for use with NetSignalID.
+func (inc *Incremental) NetID(net string) (int, bool) {
+	id, ok := inc.netID[net]
+	return id, ok
+}
+
+// NetSignalID returns the current statistics of the net with the given
+// dense ID (from NetID) — the hashing-free fast path behind NetSignal.
+func (inc *Incremental) NetSignalID(id int) (stoch.Signal, bool) {
+	if id < 0 || id >= len(inc.stats) || !inc.known[id] {
+		return stoch.Signal{}, false
+	}
+	return inc.stats[id], true
+}
+
 // NetSignal returns the current statistics of a net.
 func (inc *Incremental) NetSignal(net string) (stoch.Signal, bool) {
-	s, ok := inc.stats[net]
-	return s, ok
+	id, ok := inc.netID[net]
+	if !ok {
+		return stoch.Signal{}, false
+	}
+	return inc.NetSignalID(id)
 }
 
 // GatePower returns the current model power of one instance.
@@ -282,16 +598,18 @@ func (inc *Incremental) Recomputed() int { return inc.recomputed }
 func (inc *Incremental) Analysis() *CircuitAnalysis {
 	res := &CircuitAnalysis{
 		Power:         inc.power,
-		InternalPower: inc.intern,
+		InternalPower: inc.inter,
 		OutputPower:   inc.outp,
 		PerGate:       make(map[string]float64, len(inc.order)),
-		NetStats:      make(map[string]stoch.Signal, len(inc.stats)),
+		NetStats:      make(map[string]stoch.Signal, len(inc.netName)),
 	}
 	for i, g := range inc.order {
 		res.PerGate[g.Name] = inc.gates[i].power
 	}
-	for net, s := range inc.stats {
-		res.NetStats[net] = s
+	for id, name := range inc.netName {
+		if inc.known[id] {
+			res.NetStats[name] = inc.stats[id]
+		}
 	}
 	return res
 }

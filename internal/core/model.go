@@ -99,6 +99,165 @@ func AnalyzeGate(g *gate.Gate, in []stoch.Signal, loadCap float64, prm Params) (
 	return a, nil
 }
 
+// ConfigPower is the summary evaluation of one candidate configuration:
+// the power split of AnalyzeGate without the per-node breakdown, plus the
+// output statistics the configuration would propagate (identical for all
+// configurations of a cell — the Section 4.2 monotonic property; exposed
+// so callers can assert it).
+type ConfigPower struct {
+	Config        *gate.Gate
+	Power         float64 // watts, total
+	InternalPower float64 // watts at internal nodes
+	OutputPower   float64 // watts at the output node
+	Out           stoch.Signal
+}
+
+// evalTemplate evaluates the power model for one configuration template
+// without allocating: the summary-only counterpart of AnalyzeGate's node
+// loop, arithmetic kept operation-for-operation identical so both paths
+// produce bit-equal results. probs must hold in[i].P per pin; the caller
+// computes it once and shares it across candidates.
+func evalTemplate(t *template, in []stoch.Signal, probs []float64, loadCap float64, prm Params) ConfigPower {
+	halfCV2 := 0.5 * prm.Vdd * prm.Vdd
+	var cp ConfigPower
+	for i := range t.nodes {
+		tn := &t.nodes[i]
+		ph := tn.h.Prob(probs)
+		pg := tn.g.Prob(probs)
+		var p float64
+		if ph+pg > 0 {
+			p = ph / (ph + pg)
+		}
+		var total float64
+		for k := range in {
+			dh := tn.dh[k].Prob(probs)
+			dg := tn.dg[k].Prob(probs)
+			total += in[k].D * ((1-p)*dh + p*dg)
+		}
+		c := prm.Cj * float64(tn.sources)
+		if tn.isOut {
+			c += loadCap
+		}
+		power := halfCV2 * c * total
+		cp.Power += power
+		if tn.isOut {
+			cp.OutputPower += power
+			cp.Out = stoch.Signal{P: p, D: total}
+		} else {
+			cp.InternalPower += power
+		}
+	}
+	return cp
+}
+
+// ConfigAnalyzer amortizes the batch evaluator's scratch (the probability
+// vector and the result slice) across many calls — one analyzer per
+// worker goroutine in the optimizer's hot loop, so a whole optimization
+// allocates nothing per gate. Results returned by its methods are valid
+// until the next call; copy the ConfigPower values to retain them. The
+// zero value is ready to use; it is not safe for concurrent use.
+type ConfigAnalyzer struct {
+	probs []float64
+	out   []ConfigPower
+}
+
+// AnalyzeConfigs evaluates every configuration of the gate's cell against
+// one input-signal/load vector in a single pass: parameters and signals
+// are validated once, the probability vector is computed once, and the
+// whole orbit's templates come from one cached lookup. Results are in
+// AllConfigs order (sorted by ConfigKey), so selection over them is
+// deterministic. This is the optimizer's batched inner loop.
+func (a *ConfigAnalyzer) AnalyzeConfigs(g *gate.Gate, in []stoch.Signal, loadCap float64, prm Params) ([]ConfigPower, error) {
+	if len(in) != len(g.Inputs) {
+		return nil, fmt.Errorf("core: gate %s has %d inputs, got %d signals", g.Name, len(g.Inputs), len(in))
+	}
+	probs, err := a.prepare(g, in, loadCap, prm)
+	if err != nil {
+		return nil, err
+	}
+	ot, err := templates.getOrbit(g)
+	if err != nil {
+		return nil, err
+	}
+	out := a.results(len(ot.cfgs))
+	for i, tmpl := range ot.tmpl {
+		out[i] = evalTemplate(tmpl, in, probs, loadCap, prm)
+		out[i].Config = ot.cfgs[i]
+	}
+	return out, nil
+}
+
+// AnalyzeConfigList is AnalyzeConfigs restricted to an explicit candidate
+// slice — e.g. one layout orbit for the input-reordering subset mode, or
+// the delay-feasible survivors of the delay-neutral mode. Results keep
+// the input order.
+func (a *ConfigAnalyzer) AnalyzeConfigList(cfgs []*gate.Gate, in []stoch.Signal, loadCap float64, prm Params) ([]ConfigPower, error) {
+	probs, err := a.prepare(nil, in, loadCap, prm)
+	if err != nil {
+		return nil, err
+	}
+	out := a.results(len(cfgs))
+	for i, cfg := range cfgs {
+		if len(in) != len(cfg.Inputs) {
+			return nil, fmt.Errorf("core: gate %s has %d inputs, got %d signals", cfg.Name, len(cfg.Inputs), len(in))
+		}
+		tmpl, err := templates.get(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = evalTemplate(tmpl, in, probs, loadCap, prm)
+		out[i].Config = cfg
+	}
+	return out, nil
+}
+
+// prepare validates the shared evaluation inputs and fills the analyzer's
+// probability scratch. g is optional and only names error messages.
+func (a *ConfigAnalyzer) prepare(g *gate.Gate, in []stoch.Signal, loadCap float64, prm Params) ([]float64, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	if loadCap < 0 {
+		return nil, fmt.Errorf("core: negative load capacitance %v", loadCap)
+	}
+	if cap(a.probs) < len(in) {
+		a.probs = make([]float64, len(in))
+	}
+	probs := a.probs[:len(in)]
+	for i, s := range in {
+		if err := s.Validate(); err != nil {
+			if g != nil {
+				return nil, fmt.Errorf("core: gate %s input %s: %w", g.Name, g.Inputs[i], err)
+			}
+			return nil, fmt.Errorf("core: input %d: %w", i, err)
+		}
+		probs[i] = s.P
+	}
+	return probs, nil
+}
+
+// results returns the analyzer's result scratch resized to n.
+func (a *ConfigAnalyzer) results(n int) []ConfigPower {
+	if cap(a.out) < n {
+		a.out = make([]ConfigPower, n)
+	}
+	return a.out[:n]
+}
+
+// AnalyzeConfigs is the allocation-per-call convenience form of
+// ConfigAnalyzer.AnalyzeConfigs; the returned slice is the caller's own.
+func AnalyzeConfigs(g *gate.Gate, in []stoch.Signal, loadCap float64, prm Params) ([]ConfigPower, error) {
+	var a ConfigAnalyzer
+	return a.AnalyzeConfigs(g, in, loadCap, prm)
+}
+
+// AnalyzeConfigList is the allocation-per-call convenience form of
+// ConfigAnalyzer.AnalyzeConfigList; the returned slice is the caller's own.
+func AnalyzeConfigList(cfgs []*gate.Gate, in []stoch.Signal, loadCap float64, prm Params) ([]ConfigPower, error) {
+	var a ConfigAnalyzer
+	return a.AnalyzeConfigList(cfgs, in, loadCap, prm)
+}
+
 // OutputStats computes only the output-node statistics (Najm's transition
 // density and the Parker–McCluskey probability) without the per-node power
 // evaluation — the cheap propagation step used on nets whose driving gate

@@ -222,6 +222,10 @@ func RunCircuit(c *circuit.Circuit, sc Scenario, opt Options) (Table3Row, error)
 	pi := InputStats(c, sc, opt)
 	ro := reorder.DefaultOptions()
 	ro.Params = opt.Params
+	// Run's row pool owns the parallelism; a per-row candidate-search
+	// pool on top would oversubscribe the machine (same rule as
+	// sweep.runJob).
+	ro.Workers = 1
 	best, worst, err := reorder.BestAndWorst(c, pi, ro)
 	if err != nil {
 		return row, err

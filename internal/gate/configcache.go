@@ -1,0 +1,111 @@
+package gate
+
+import (
+	"strings"
+	"sync"
+)
+
+// orbitCache memoizes AllConfigs and Instances results per configuration.
+// Enumerating a cell's configurations (Orderings × Orderings, sorted) and
+// partitioning them into layout orbits (automorphism union-find) depend
+// only on the configuration identity, never on circuit context, so a
+// circuit with hundreds of instances of one cell enumerates the orbit
+// exactly once. The cache is safe for concurrent use — the parallel
+// optimizer's candidate-search workers hit it from many goroutines — and
+// unbounded: the library contributes at most a few hundred distinct
+// configurations in total.
+//
+// Every member of an enumeration shares the same result (the orderings of
+// any configuration of a shape are the same sorted set), so a computed
+// result is stored under every member's key: asking any configuration of
+// nand3 for its orbit after any other configuration asked is a pure map
+// hit.
+// A pointer-keyed front (byPtr*) sits before the string-keyed maps:
+// gates are immutable, so a *Gate that hit the front resolves its orbit
+// with a single lock-free map load, no key serialization. Only canonical
+// enumeration members are registered in the front — a bounded set, one
+// entry per distinct configuration — so arbitrary caller-constructed
+// gates (e.g. one per parsed netlist instance) never pin memory here;
+// they pay the string key and stay eligible for collection. The
+// optimizer's steady state is pointer-hits throughout: after the first
+// committed move every circuit cell is a canonical orbit member.
+type orbitCache struct {
+	byPtrConfigs   sync.Map // *Gate → []*Gate
+	byPtrInstances sync.Map // *Gate → []Instance
+
+	mu        sync.RWMutex
+	configs   map[string][]*Gate
+	instances map[string][]Instance
+}
+
+var orbits = &orbitCache{
+	configs:   map[string][]*Gate{},
+	instances: map[string][]Instance{},
+}
+
+// configCacheKey identifies a configuration for memoization: the cell
+// name and pin order disambiguate distinct cells whose networks happen to
+// serialize identically.
+func configCacheKey(g *Gate) string {
+	return g.Name + "|" + strings.Join(g.Inputs, ",") + "|" + g.ConfigKey()
+}
+
+func (oc *orbitCache) allConfigs(g *Gate) []*Gate {
+	if cached, ok := oc.byPtrConfigs.Load(g); ok {
+		return cached.([]*Gate)
+	}
+	key := configCacheKey(g)
+	oc.mu.RLock()
+	cached, ok := oc.configs[key]
+	oc.mu.RUnlock()
+	if ok {
+		return cached
+	}
+	out := g.enumerateConfigs()
+	oc.mu.Lock()
+	if prior, ok := oc.configs[key]; ok {
+		out = prior // a concurrent enumeration won; keep one canonical slice
+	} else {
+		oc.configs[key] = out
+		for _, cfg := range out {
+			oc.configs[configCacheKey(cfg)] = out
+		}
+	}
+	oc.mu.Unlock()
+	for _, cfg := range out {
+		oc.byPtrConfigs.Store(cfg, out)
+	}
+	return out
+}
+
+func (oc *orbitCache) allInstances(g *Gate) []Instance {
+	if cached, ok := oc.byPtrInstances.Load(g); ok {
+		return cached.([]Instance)
+	}
+	key := configCacheKey(g)
+	oc.mu.RLock()
+	cached, ok := oc.instances[key]
+	oc.mu.RUnlock()
+	if ok {
+		return cached
+	}
+	out := g.partitionInstances()
+	oc.mu.Lock()
+	if prior, ok := oc.instances[key]; ok {
+		out = prior
+	} else {
+		oc.instances[key] = out
+		for _, inst := range out {
+			for _, cfg := range inst.Configs {
+				oc.instances[configCacheKey(cfg)] = out
+			}
+		}
+	}
+	oc.mu.Unlock()
+	for _, inst := range out {
+		for _, cfg := range inst.Configs {
+			oc.byPtrInstances.Store(cfg, out)
+		}
+	}
+	return out
+}

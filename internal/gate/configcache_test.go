@@ -1,0 +1,90 @@
+package gate
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sp"
+)
+
+// TestAllConfigsMemoized asserts the cache contract: repeated calls —
+// from any member of the enumeration — return the same canonical slice
+// without re-enumerating.
+func TestAllConfigsMemoized(t *testing.T) {
+	g := MustNew("cc_nand3", []string{"a", "b", "c"}, sp.S(sp.L("a"), sp.L("b"), sp.L("c")))
+	first := g.AllConfigs()
+	if len(first) == 0 {
+		t.Fatal("no configurations")
+	}
+	if again := g.AllConfigs(); &again[0] != &first[0] {
+		t.Error("second AllConfigs call re-enumerated instead of hitting the cache")
+	}
+	// Any member of the orbit shares the entry.
+	for _, cfg := range first {
+		if via := cfg.AllConfigs(); &via[0] != &first[0] {
+			t.Fatalf("AllConfigs via member %s missed the shared cache entry", cfg.ConfigKey())
+		}
+	}
+}
+
+// TestInstancesMemoized is the same contract for the orbit partition.
+func TestInstancesMemoized(t *testing.T) {
+	g := MustNew("cc_aoi22", []string{"a", "b", "c", "d"},
+		sp.P(sp.S(sp.L("a"), sp.L("b")), sp.S(sp.L("c"), sp.L("d"))))
+	first := g.Instances()
+	if len(first) == 0 {
+		t.Fatal("no instances")
+	}
+	if again := g.Instances(); &again[0] != &first[0] {
+		t.Error("second Instances call re-partitioned instead of hitting the cache")
+	}
+	for _, inst := range first {
+		for _, cfg := range inst.Configs {
+			if via := cfg.Instances(); &via[0] != &first[0] {
+				t.Fatalf("Instances via member %s missed the shared cache entry", cfg.ConfigKey())
+			}
+		}
+	}
+}
+
+// TestConfigCacheConcurrent hammers the cache from many goroutines (run
+// with -race): all callers must observe one canonical enumeration.
+func TestConfigCacheConcurrent(t *testing.T) {
+	g := MustNew("cc_oai211", []string{"a", "b", "c", "d"},
+		sp.S(sp.P(sp.L("a"), sp.L("b")), sp.L("c"), sp.L("d")))
+	const goroutines = 16
+	results := make([][]*Gate, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = g.AllConfigs()
+			g.Instances()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if len(results[i]) != len(results[0]) {
+			t.Fatalf("goroutine %d saw %d configs, goroutine 0 saw %d", i, len(results[i]), len(results[0]))
+		}
+	}
+}
+
+// TestConfigCacheDistinguishesCells guards the key: two cells with
+// identical networks but different names must not share entries (the
+// enumerated gates carry the cell name).
+func TestConfigCacheDistinguishesCells(t *testing.T) {
+	a := MustNew("cc_keyed_a", []string{"x", "y"}, sp.S(sp.L("x"), sp.L("y")))
+	b := MustNew("cc_keyed_b", []string{"x", "y"}, sp.S(sp.L("x"), sp.L("y")))
+	for _, cfg := range a.AllConfigs() {
+		if cfg.Name != "cc_keyed_a" {
+			t.Fatalf("config of cell a named %q", cfg.Name)
+		}
+	}
+	for _, cfg := range b.AllConfigs() {
+		if cfg.Name != "cc_keyed_b" {
+			t.Fatalf("config of cell b named %q", cfg.Name)
+		}
+	}
+}

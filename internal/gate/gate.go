@@ -91,7 +91,15 @@ func (g *Gate) CountConfigs() int {
 }
 
 // AllConfigs enumerates every distinct configuration, sorted by ConfigKey.
+// The result is memoized per configuration and shared across callers (all
+// instances of a cell in a circuit enumerate the orbit once); treat the
+// returned slice and its gates as read-only.
 func (g *Gate) AllConfigs() []*Gate {
+	return orbits.allConfigs(g)
+}
+
+// enumerateConfigs performs the actual enumeration behind AllConfigs.
+func (g *Gate) enumerateConfigs() []*Gate {
 	var out []*Gate
 	for _, pd := range sp.Orderings(g.PD) {
 		for _, pu := range sp.Orderings(g.PU) {
@@ -162,8 +170,14 @@ type Instance struct {
 
 // Instances partitions AllConfigs into orbits under the input
 // automorphisms of the gate shape. The number of instances is the bracket
-// count of Table 2 (aoi211[A,B,C] → 3 instances).
+// count of Table 2 (aoi211[A,B,C] → 3 instances). Like AllConfigs, the
+// result is memoized per configuration; treat it as read-only.
 func (g *Gate) Instances() []Instance {
+	return orbits.allInstances(g)
+}
+
+// partitionInstances performs the actual orbit partition behind Instances.
+func (g *Gate) partitionInstances() []Instance {
 	configs := g.AllConfigs()
 	autos := sp.Automorphisms(g.PD) // the PU shape is the dual: same symmetries
 	idx := make(map[string]int, len(configs))

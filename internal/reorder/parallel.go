@@ -1,0 +1,117 @@
+package reorder
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/stoch"
+)
+
+// pickScratch is the per-goroutine buffer set of the candidate search:
+// the pin-signal slice plus the batch evaluator's own scratch, so the
+// steady-state search allocates nothing per gate.
+type pickScratch struct {
+	in       []stoch.Signal
+	analyzer core.ConfigAnalyzer
+}
+
+// optimizeParallel is the two-phase candidate-search engine for the modes
+// whose per-gate choice is independent of every other gate's choice (Full
+// and InputOnly — their candidate evaluation reads only net statistics,
+// which reordering never changes by the Section 4.2 monotonic property).
+//
+// Phase 1 (parallel, read-only): the per-gate candidate search rides the
+// incremental engine's construction wavefront (NewIncrementalParallelFunc):
+// the moment a gate's input statistics settle, a worker evaluates the
+// mode's whole candidate set through the batched core.AnalyzeConfigs /
+// AnalyzeConfigList path and records the objective-optimal configuration.
+// No worker mutates the engine; the candidate order is pinned (sorted by
+// ConfigKey) and ties break to the earliest candidate, so the chosen
+// configurations are identical under any worker count or scheduling.
+//
+// Phase 2 (serial commit): accepted moves are applied in topological
+// order through Incremental.SetConfigEvaluated, which books the power
+// delta already computed in phase 1 — no further model evaluations. The
+// serial order makes the floating-point power accumulation — and hence
+// the whole Report — bit-identical for any worker count.
+func optimizeParallel(out *circuit.Circuit, pi map[string]stoch.Signal, opt Options, workers int, report *Report) error {
+	n := len(out.Gates)
+	chosen := make([]core.ConfigPower, n)
+	changed := make([]bool, n)
+	scratch := sync.Pool{New: func() interface{} { return &pickScratch{} }}
+
+	pick := func(inc *core.Incremental, i int) error {
+		g := inc.Order()[i]
+		s := scratch.Get().(*pickScratch)
+		defer scratch.Put(s)
+		in, err := inc.InputsAt(i, s.in[:0])
+		s.in = in
+		if err != nil {
+			return fmt.Errorf("reorder: %w", err)
+		}
+		var cands []core.ConfigPower
+		if opt.Mode == InputOnly {
+			cands, err = s.analyzer.AnalyzeConfigList(currentInstance(g.Cell), in, inc.LoadAt(i), opt.Params)
+		} else {
+			cands, err = s.analyzer.AnalyzeConfigs(g.Cell, in, inc.LoadAt(i), opt.Params)
+		}
+		if err != nil {
+			return fmt.Errorf("reorder: instance %s: %w", g.Name, err)
+		}
+		best, err := pickByPower(cands, opt.Objective)
+		if err != nil {
+			return fmt.Errorf("reorder: instance %s: %w", g.Name, err)
+		}
+		chosen[i] = cands[best]
+		// The "is this a move?" test also runs here, off the serial
+		// commit path: by pointer when the instance already holds the
+		// canonical orbit member, by ConfigKey otherwise.
+		if cands[best].Config != g.Cell {
+			changed[i] = cands[best].Config.ConfigKey() != g.Cell.ConfigKey()
+		}
+		return nil
+	}
+
+	inc, err := core.NewIncrementalParallelFunc(out, pi, opt.Params, workers, pick)
+	if err != nil {
+		return err
+	}
+	report.PowerBefore = inc.Power()
+	for i := range chosen {
+		if !changed[i] {
+			continue
+		}
+		report.GatesChanged++
+		// Reordering preserves the gate's boolean function, so the cone
+		// collapses at this gate — and the chosen configuration's model
+		// evaluation already happened in phase 1, so the commit just
+		// books the precomputed delta.
+		if err := inc.SetConfigEvaluated(i, chosen[i]); err != nil {
+			return fmt.Errorf("reorder: instance %s: %w", inc.Order()[i].Name, err)
+		}
+	}
+	report.PowerAfter = inc.Power()
+	return nil
+}
+
+// pickByPower selects the objective-optimal candidate's index. Candidates
+// arrive sorted by ConfigKey and ties break to the earliest (strict
+// comparison), pinning the choice regardless of evaluation order.
+func pickByPower(cands []core.ConfigPower, obj Objective) (int, error) {
+	if len(cands) == 0 {
+		return 0, fmt.Errorf("no candidate configurations")
+	}
+	chosen := 0
+	for i := 1; i < len(cands); i++ {
+		better := cands[i].Power < cands[chosen].Power
+		if obj == Maximize {
+			better = cands[i].Power > cands[chosen].Power
+		}
+		if better {
+			chosen = i
+		}
+	}
+	return chosen, nil
+}

@@ -15,11 +15,20 @@
 // construction, which yields PowerBefore) plus per-gate local work: one
 // gate-model evaluation per candidate configuration and one more inside
 // the engine per accepted move — no closing whole-circuit re-analysis.
+//
+// The same monotonic property makes per-gate candidate selection
+// embarrassingly parallel in the pure power modes: every gate's candidate
+// powers depend only on the original net statistics, never on what other
+// gates chose. Optimize exploits this with a two-phase engine (see
+// optimizeParallel): a read-only parallel search over Options.Workers
+// goroutines followed by a serial commit in topological order, with
+// bit-identical reports under any worker count.
 package reorder
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -83,10 +92,19 @@ type Options struct {
 	Objective Objective
 	Params    core.Params  // power-model constants
 	Delay     delay.Params // used by DelayRule mode
+
+	// Workers bounds the optimizer's worker pool: 0 means GOMAXPROCS,
+	// 1 forces serial execution. Results are bit-identical for any value.
+	// In the pure power modes (Full, InputOnly) the pool runs the whole
+	// candidate search (read-only phase, then a serial commit in
+	// topological order); in the delay-aware modes the per-gate choice
+	// depends on upstream arrival times and stays serial — Workers then
+	// only parallelizes the engine's initial circuit analysis.
+	Workers int
 }
 
 // DefaultOptions is the paper's configuration: full reordering, minimum
-// power, default constants.
+// power, default constants, GOMAXPROCS search workers.
 func DefaultOptions() Options {
 	return Options{Mode: Full, Objective: Minimize, Params: core.DefaultParams(), Delay: delay.DefaultParams()}
 }
@@ -110,64 +128,95 @@ func (r *Report) Reduction() float64 {
 // Optimize runs the Figure 3 algorithm on a copy of c and returns the
 // report. pi maps every primary input to its statistics; they drive both
 // the per-gate exploration and the before/after estimates.
+//
+// In the pure power modes (Full, InputOnly) the per-gate candidate search
+// runs on opt.Workers goroutines against the original statistics — valid
+// because reordering propagates identical output statistics (Sec. 4.2) —
+// followed by a serial commit pass; the result is bit-identical for any
+// worker count. The delay-aware modes run serially: their choice at each
+// gate depends on the arrival times produced by upstream choices.
 func Optimize(c *circuit.Circuit, pi map[string]stoch.Signal, opt Options) (*Report, error) {
 	if err := opt.Params.Validate(); err != nil {
 		return nil, err
 	}
-	if opt.Mode == DelayRule || opt.Mode == DelayNeutral {
-		if err := opt.Delay.Validate(); err != nil {
-			return nil, err
-		}
-	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	switch opt.Mode {
+	case Full, InputOnly:
+	case DelayRule, DelayNeutral:
+		if err := opt.Delay.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("reorder: unknown mode %v", opt.Mode)
+	}
 	out := c.Clone()
-	inc, err := core.NewIncremental(out, pi, opt.Params)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report := &Report{Circuit: out}
+	if opt.Mode == Full || opt.Mode == InputOnly {
+		if err := optimizeParallel(out, pi, opt, workers, report); err != nil {
+			return nil, err
+		}
+		return report, nil
+	}
+	inc, err := core.NewIncrementalParallel(out, pi, opt.Params, workers)
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{Circuit: out, PowerBefore: inc.Power()}
+	report.PowerBefore = inc.Power()
+	if err := optimizeSerial(inc, opt, report); err != nil {
+		return nil, err
+	}
+	report.PowerAfter = inc.Power()
+	return report, nil
+}
 
-	arr := map[string]float64{}
-	for _, in := range out.Inputs {
+// optimizeSerial is the delay-aware traversal: a single pass in
+// topological order that carries the arrival-time map the delay modes
+// condition on. Pin-signal and arrival scratch buffers are hoisted out of
+// the loop; the arrival map exists only here — the pure power modes never
+// build it.
+func optimizeSerial(inc *core.Incremental, opt Options, report *Report) error {
+	arr := make(map[string]float64, len(inc.Order()))
+	for _, in := range inc.Circuit().Inputs {
 		arr[in] = 0
 	}
-	for _, g := range inc.Order() {
-		in := make([]stoch.Signal, len(g.Pins))
-		arrIn := make([]float64, len(g.Pins))
-		for i, p := range g.Pins {
-			s, ok := inc.NetSignal(p)
-			if !ok {
-				return nil, fmt.Errorf("reorder: instance %s reads unannotated net %q", g.Name, p)
-			}
-			in[i] = s
-			arrIn[i] = arr[p]
+	var in []stoch.Signal
+	var arrIn []float64
+	for i, g := range inc.Order() {
+		var err error
+		if in, err = inc.InputsAt(i, in[:0]); err != nil {
+			return fmt.Errorf("reorder: %w", err)
 		}
-		load, _ := inc.Load(g.Name)
+		arrIn = arrIn[:0]
+		for _, p := range g.Pins {
+			arrIn = append(arrIn, arr[p])
+		}
+		load := inc.LoadAt(i)
 		chosen, err := chooseConfig(g.Cell, in, arrIn, load, opt)
 		if err != nil {
-			return nil, fmt.Errorf("reorder: instance %s: %w", g.Name, err)
+			return fmt.Errorf("reorder: instance %s: %w", g.Name, err)
 		}
 		if chosen.ConfigKey() != g.Cell.ConfigKey() {
 			report.GatesChanged++
 			// Reordering preserves the gate's boolean function, so the
 			// engine's cone re-evaluation stops at this gate: one model
 			// evaluation per accepted move instead of a circuit re-analysis.
-			if err := inc.SetConfig(g.Name, chosen); err != nil {
-				return nil, fmt.Errorf("reorder: instance %s: %w", g.Name, err)
+			if err := inc.SetConfigAt(i, chosen); err != nil {
+				return fmt.Errorf("reorder: instance %s: %w", g.Name, err)
 			}
 		}
-		if opt.Mode == DelayRule || opt.Mode == DelayNeutral {
-			a, err := gateArrival(g.Cell, arrIn, load, opt.Delay)
-			if err != nil {
-				return nil, err
-			}
-			arr[g.Out] = a
+		a, err := gateArrival(g.Cell, arrIn, load, opt.Delay)
+		if err != nil {
+			return err
 		}
+		arr[g.Out] = a
 	}
-	report.PowerAfter = inc.Power()
-	return report, nil
+	return nil
 }
 
 // gateArrival returns the output arrival time of one gate configuration
@@ -186,56 +235,40 @@ func gateArrival(g *gate.Gate, arrIn []float64, load float64, prm delay.Params) 
 	return worst, nil
 }
 
-// chooseConfig evaluates the mode's candidate set for one gate.
+// chooseConfig evaluates the delay-aware candidate set for one gate. The
+// pure power modes never reach it — they go through optimizeParallel.
 func chooseConfig(g *gate.Gate, in []stoch.Signal, arrIn []float64, load float64, opt Options) (*gate.Gate, error) {
 	switch opt.Mode {
 	case DelayRule:
 		cfg, _, err := delay.DelayOptimal(g, arrIn, load, opt.Delay)
 		return cfg, err
-	case Full, InputOnly, DelayNeutral:
-		candidates := g.AllConfigs()
-		switch opt.Mode {
-		case InputOnly:
-			candidates = currentInstance(g)
-		case DelayNeutral:
-			// Keep only configurations at least as fast as the current
-			// one at this gate's position in the circuit.
-			limit, err := gateArrival(g, arrIn, load, opt.Delay)
+	case DelayNeutral:
+		// Keep only configurations at least as fast as the current
+		// one at this gate's position in the circuit, then pick the
+		// objective-optimal survivor by model power.
+		limit, err := gateArrival(g, arrIn, load, opt.Delay)
+		if err != nil {
+			return nil, err
+		}
+		var kept []*gate.Gate
+		for _, cfg := range g.AllConfigs() {
+			a, err := gateArrival(cfg, arrIn, load, opt.Delay)
 			if err != nil {
 				return nil, err
 			}
-			var kept []*gate.Gate
-			for _, cfg := range candidates {
-				a, err := gateArrival(cfg, arrIn, load, opt.Delay)
-				if err != nil {
-					return nil, err
-				}
-				if a <= limit*(1+1e-12) {
-					kept = append(kept, cfg)
-				}
-			}
-			candidates = kept
-		}
-		var chosen *gate.Gate
-		var chosenPower float64
-		for _, cfg := range candidates {
-			a, err := core.AnalyzeGate(cfg, in, load, opt.Params)
-			if err != nil {
-				return nil, err
-			}
-			better := a.Power < chosenPower
-			if opt.Objective == Maximize {
-				better = a.Power > chosenPower
-			}
-			if chosen == nil || better {
-				chosen = cfg
-				chosenPower = a.Power
+			if a <= limit*(1+1e-12) {
+				kept = append(kept, cfg)
 			}
 		}
-		if chosen == nil {
+		cands, err := core.AnalyzeConfigList(kept, in, load, opt.Params)
+		if err != nil {
+			return nil, err
+		}
+		best, err := pickByPower(cands, opt.Objective)
+		if err != nil {
 			return nil, fmt.Errorf("gate %s has no candidate configurations", g.Name)
 		}
-		return chosen, nil
+		return cands[best].Config, nil
 	default:
 		return nil, fmt.Errorf("unknown mode %v", opt.Mode)
 	}
@@ -245,8 +278,18 @@ func chooseConfig(g *gate.Gate, in []stoch.Signal, arrIn []float64, load float64
 // current configuration — what rewiring symmetric inputs can reach without
 // changing the physical layout.
 func currentInstance(g *gate.Gate) []*gate.Gate {
+	insts := g.Instances()
+	// Fast path: after the first committed move the instance holds the
+	// canonical orbit member, found by pointer without key building.
+	for _, inst := range insts {
+		for _, cfg := range inst.Configs {
+			if cfg == g {
+				return inst.Configs
+			}
+		}
+	}
 	key := g.ConfigKey()
-	for _, inst := range g.Instances() {
+	for _, inst := range insts {
 		for _, cfg := range inst.Configs {
 			if cfg.ConfigKey() == key {
 				return inst.Configs

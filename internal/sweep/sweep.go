@@ -93,6 +93,14 @@ type Options struct {
 	Simulate   bool            // also measure by switch-level simulation (S column)
 	Expt       expt.Options    // electrical constants, horizons, library
 
+	// OptimizerWorkers sets reorder.Options.Workers inside each job: the
+	// per-gate parallel candidate search of the optimizer. The default 0
+	// keeps each job's search serial — the sweep pool above already
+	// saturates the cores, and nesting a second GOMAXPROCS pool per job
+	// would oversubscribe. Raise it for few-job sweeps of large circuits.
+	// Results are identical for any value.
+	OptimizerWorkers int
+
 	Stream   io.Writer    // optional: one JSON object per finished job
 	OnResult func(Result) // optional: called per finished job (serialized)
 }
@@ -339,6 +347,10 @@ func runJob(job Job, cache *circuitCache, opt Options) Result {
 	ro.Mode = job.Mode
 	ro.Params = eo.Params
 	ro.Delay = eo.Delay
+	ro.Workers = opt.OptimizerWorkers
+	if ro.Workers == 0 {
+		ro.Workers = 1 // the job pool owns the parallelism by default
+	}
 	best, worst, err := reorder.BestAndWorst(c, pi, ro)
 	if err != nil {
 		return fail(err)

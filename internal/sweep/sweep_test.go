@@ -69,6 +69,33 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRunDeterministicAcrossOptimizerWorkers pins the nested-parallelism
+// contract: turning on the per-job optimizer candidate-search pool (the
+// reorder two-phase engine) must not change a single result field
+// relative to the default serial per-job optimization.
+func TestRunDeterministicAcrossOptimizerWorkers(t *testing.T) {
+	opt := smallOptions()
+	opt.Workers = 2
+	base, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Failed != 0 {
+		t.Fatalf("baseline run failed %d jobs", base.Failed)
+	}
+	opt = smallOptions()
+	opt.Workers = 2
+	opt.OptimizerWorkers = 4
+	nested, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTiming(base.Results), stripTiming(nested.Results)) {
+		t.Fatalf("optimizer-parallel results differ from serial:\nserial: %+v\nnested: %+v",
+			base.Results, nested.Results)
+	}
+}
+
 // TestRunStreamsJSONL checks that every job is emitted exactly once as a
 // parseable JSON line and that OnResult sees the same set, even with the
 // pool racing on the shared encoder.
