@@ -46,9 +46,18 @@ type (
 	// SimEngine selects the simulation backend: event-driven or compiled
 	// bit-parallel.
 	SimEngine = sim.Engine
-	// SimProgram is a circuit compiled for the bit-parallel engine (flat
-	// levelized word-op array; immutable, safe for concurrent runs).
+	// SimProgram is a circuit compiled for the zero-delay bit-parallel
+	// engine (flat levelized word-op array; immutable, safe for
+	// concurrent runs).
 	SimProgram = sim.Program
+	// TimedSimProgram is a circuit compiled for the timed bit-parallel
+	// engine: per-gate word ops driven by a word-level timing wheel on a
+	// discrete tick grid (unit or Elmore delays, quantized per
+	// SimParams.Tick).
+	TimedSimProgram = sim.TimedProgram
+	// TimedStimulus is a bit-packed Monte Carlo stimulus on a shared tick
+	// grid for the timed bit-parallel engine.
+	TimedStimulus = stoch.TimedStimulus
 	// BitSimResult is a bit-parallel measurement: totals across lanes
 	// plus optional per-lane breakdowns.
 	BitSimResult = sim.BitResult
@@ -87,9 +96,13 @@ const (
 )
 
 // Simulation engines (see sim.Engine). The event-driven engine is the
-// reference for unit- and Elmore-delay (glitch) studies; the bit-parallel
-// engine compiles the circuit once and evaluates 64 Monte Carlo vectors
-// per machine word in zero-delay mode.
+// semantic reference; the bit-parallel engine compiles the circuit once
+// and evaluates 64 Monte Carlo vectors per machine word in every delay
+// mode — the levelized program under zero delay, the timed word-op
+// program (integer-tick timing wheel) under unit or Elmore delay. In the
+// timed modes both engines run on the same tick grid and agree lane for
+// lane (unit-delay quantization is exact; Elmore delays snap to within
+// half a tick, see SimParams.Tick).
 const (
 	EngineEventDriven = sim.EventDriven
 	EngineBitParallel = sim.BitParallel
@@ -182,12 +195,29 @@ func Simulate(c *Circuit, pi map[string]Signal, horizon float64, seed int64, prm
 	return sim.Run(c, waves, horizon, prm)
 }
 
-// SimulateVectors measures power on the compiled bit-parallel engine:
+// SimulateVectors measures power on the compiled bit-parallel engines:
 // vectors (1..MaxSimVectors) independent Monte Carlo stimulus streams
-// packed into bit lanes and evaluated in one pass. prm.Mode must be
-// zero-delay. The result's Power is the mean per-lane power.
+// packed into bit lanes and evaluated in one pass — on the levelized
+// program in zero-delay mode, on the timed program (glitches included)
+// under unit or Elmore delay. The result's Power is the mean per-lane
+// power.
 func SimulateVectors(c *Circuit, pi map[string]Signal, horizon float64, vectors int, seed int64, prm SimParams) (*BitSimResult, error) {
 	rng := newRand(seed)
+	if prm.Mode != sim.ZeroDelay {
+		prog, err := sim.CompileTimed(c, prm)
+		if err != nil {
+			return nil, err
+		}
+		laneWaves, err := sim.GenerateLaneWaveforms(c.Inputs, pi, horizon, vectors, rng)
+		if err != nil {
+			return nil, err
+		}
+		stim, err := prog.PackTimed(laneWaves, horizon)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Run(stim)
+	}
 	stim, err := sim.GeneratePackedWaveforms(c.Inputs, pi, horizon, vectors, rng)
 	if err != nil {
 		return nil, err
@@ -195,11 +225,20 @@ func SimulateVectors(c *Circuit, pi map[string]Signal, horizon float64, vectors 
 	return sim.RunPacked(c, stim, prm)
 }
 
-// CompileSimulation lowers the circuit into the bit-parallel engine's
-// flat word-op program. Compile once, then Run many packed stimuli —
-// concurrent runs on one program are safe.
+// CompileSimulation lowers the circuit into the zero-delay bit-parallel
+// engine's flat word-op program. Compile once, then Run many packed
+// stimuli — concurrent runs on one program are safe.
 func CompileSimulation(c *Circuit, prm SimParams) (*SimProgram, error) {
 	return sim.Compile(c, prm)
+}
+
+// CompileTimedSimulation lowers the circuit into the timed bit-parallel
+// engine's per-gate word-op program on a discrete tick grid (prm.Tick; 0
+// resolves automatically — exactly the unit delay in UnitDelay mode, the
+// fastest gate delay / 4 in ElmoreDelay mode). Compile once, then Run
+// many timed stimuli packed at the program's Tick.
+func CompileTimedSimulation(c *Circuit, prm SimParams) (*TimedSimProgram, error) {
+	return sim.CompileTimed(c, prm)
 }
 
 // CircuitDelay runs static timing analysis with the Elmore stack model.

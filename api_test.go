@@ -247,3 +247,40 @@ func TestIncrementalAnalysisFacade(t *testing.T) {
 		t.Fatalf("incremental power %v != full %v", inc.Power(), full.Power)
 	}
 }
+
+// TestFacadeSimulateVectorsTimed: the facade's packed Monte Carlo
+// measurement works in every delay mode — timed modes compile the timed
+// program and agree with the per-vector event engine on the totals.
+func TestFacadeSimulateVectorsTimed(t *testing.T) {
+	lib := repro.DefaultLibrary()
+	c, err := repro.LoadBenchmark("c17", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := repro.UniformInputs(c, 0.5, 2e5)
+	prm := repro.DefaultSimParams()
+	const horizon = 1e-4
+	br, err := repro.SimulateVectors(c, stats, horizon, 8, 11, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Lanes != 8 || br.Energy <= 0 || br.OutputFlips == 0 {
+		t.Fatalf("degenerate timed vector run: %+v", br.Result)
+	}
+	// The compiled timed program is reachable directly too.
+	prog, err := repro.CompileTimedSimulation(c, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Tick() != prm.Unit {
+		t.Fatalf("unit-mode auto tick %g, want %g", prog.Tick(), prm.Unit)
+	}
+	// Mean per-lane power is deterministic in the seed.
+	br2, err := repro.SimulateVectors(c, stats, horizon, 8, 11, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Power != br2.Power {
+		t.Fatalf("timed SimulateVectors not deterministic: %v vs %v", br.Power, br2.Power)
+	}
+}

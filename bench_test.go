@@ -569,6 +569,120 @@ func BenchmarkBitParallelVsEvent(b *testing.B) {
 	})
 }
 
+// BenchmarkTimedBitParallelVsEvent measures the PR-4 tentpole claim on
+// the largest embedded benchmark: unit- and Elmore-delay (glitch-power)
+// Monte Carlo measurement on the timed compiled engine — 64 vectors per
+// word through a word-level timing wheel, compile once — versus the
+// event-driven engine, identical tick-quantized stimulus. Compare the
+// vectors/sec metrics per delay mode: the timed compiled engine must
+// sustain ≥ 10× the event engine's throughput (place the numbers next to
+// BenchmarkBitParallelVsEvent's zero-delay ~55× for the full trajectory).
+// The steady-state pooled measurement paths must not allocate: asserted
+// here for both compiled engines (the sync.Pool-backed scratch reuse).
+func BenchmarkTimedBitParallelVsEvent(b *testing.B) {
+	lib := repro.DefaultLibrary()
+	c := largestEmbedded(b, lib)
+	stats := repro.UniformInputs(c, 0.5, 2e5)
+	const horizon = 2e-4
+	b.Logf("benchmark %s: %d gates", c.Name, len(c.Gates))
+
+	for _, mode := range []struct {
+		name string
+		mode sim.DelayMode
+	}{{"unit", sim.UnitDelay}, {"elmore", sim.ElmoreDelay}} {
+		prm := sim.DefaultParams()
+		prm.Mode = mode.mode
+
+		// Pregenerate identical stimulus for both engines outside the
+		// timed region: the comparison is simulation throughput.
+		rng := rand.New(rand.NewSource(64))
+		laneWaves := make([]map[string]*stoch.Waveform, 64)
+		for l := range laneWaves {
+			w, err := sim.GenerateWaveforms(c.Inputs, stats, horizon, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			laneWaves[l] = w
+		}
+		prog, err := sim.CompileTimed(c, prm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stim, err := prog.PackTimed(laneWaves, horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(mode.name+"/event", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(c, laneWaves[i%len(laneWaves)], horizon, prm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "vectors/sec")
+		})
+		b.Run(mode.name+"/bitparallel", func(b *testing.B) {
+			// Warm the scratch pool, then pin the allocation-free claim.
+			if _, err := prog.RunEnergy(stim); err != nil {
+				b.Fatal(err)
+			}
+			if avg := testing.AllocsPerRun(5, func() {
+				if _, err := prog.RunEnergy(stim); err != nil {
+					b.Fatal(err)
+				}
+			}); avg > 2 {
+				b.Fatalf("timed RunEnergy allocates %.1f objects/op; the pooled scratch must make this ~0", avg)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Run(stim); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(stim.Lanes)/b.Elapsed().Seconds(), "vectors/sec")
+		})
+	}
+
+	// The zero-delay program shares the pooled-scratch contract.
+	b.Run("zero/runenergy-allocs", func(b *testing.B) {
+		prm := sim.DefaultParams()
+		prm.Mode = sim.ZeroDelay
+		rng := rand.New(rand.NewSource(65))
+		laneWaves := make([]map[string]*stoch.Waveform, 64)
+		for l := range laneWaves {
+			w, err := sim.GenerateWaveforms(c.Inputs, stats, horizon, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			laneWaves[l] = w
+		}
+		stim, err := stoch.PackWaveforms(c.Inputs, laneWaves, horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := sim.Compile(c, prm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := prog.RunEnergy(stim); err != nil {
+			b.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(5, func() {
+			if _, err := prog.RunEnergy(stim); err != nil {
+				b.Fatal(err)
+			}
+		}); avg > 2 {
+			b.Fatalf("zero-delay RunEnergy allocates %.1f objects/op; the pooled scratch must make this ~0", avg)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.RunEnergy(stim); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(0, "allocs/op-asserted")
+	})
+}
+
 // BenchmarkParallelOptimizer measures the PR-3 tentpole: the two-phase
 // candidate-search engine on the largest embedded benchmark, serial
 // versus N workers. Each iteration is a whole Optimize call (clone,

@@ -49,8 +49,10 @@ func run() error {
 		jsonl     = flag.String("jsonl", "", "stream one JSON object per finished job to this file ('-' for stdout)")
 		horizon   = flag.Float64("horizon", 0, "scenario A simulation horizon in seconds (0 = default)")
 		cycles    = flag.Int("cycles", 0, "scenario B simulated cycles (0 = default)")
-		delayMode = flag.String("delay", "unit", "simulation delay model: unit, elmore or zero (zero runs on the bit-parallel engine)")
-		vectors   = flag.Int("vectors", 0, "Monte Carlo vector lanes for zero-delay simulation, 1..64 (0 = 64)")
+		delayMode = flag.String("delay", "unit", "simulation delay model: unit, elmore or zero")
+		engine    = flag.String("engine", "bitparallel", "S-column simulation engine: bitparallel (packed Monte Carlo lanes, any delay model) or event (one realization per job)")
+		tick      = flag.Float64("tick", 0, "timed-simulation tick in seconds (0 = auto: the unit delay, or the fastest Elmore gate delay / 4)")
+		vectors   = flag.Int("vectors", 0, "Monte Carlo vector lanes for bit-parallel simulation, 1..64 (0 = 64)")
 		verbose   = flag.Bool("v", false, "print the per-job table, not only the aggregates")
 		list      = flag.Bool("list", false, "print the planned jobs and exit")
 	)
@@ -115,9 +117,21 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -delay %q (want unit, elmore or zero)", *delayMode)
 	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	opt.Expt.Sim.Engine = eng
+	if *tick < 0 {
+		return fmt.Errorf("-tick %g is negative", *tick)
+	}
+	if *tick > 0 && opt.Expt.Sim.Mode == sim.ZeroDelay {
+		return fmt.Errorf("-tick applies to timed simulation: pass -delay unit or elmore")
+	}
+	opt.Expt.Sim.Tick = *tick
 	if *vectors != 0 {
-		if opt.Expt.Sim.Mode != sim.ZeroDelay {
-			return fmt.Errorf("-vectors applies to zero-delay (bit-parallel) simulation: pass -delay zero")
+		if eng != sim.BitParallel {
+			return fmt.Errorf("-vectors applies to the bit-parallel engine: drop -engine event")
 		}
 		if *vectors < 1 || *vectors > stoch.MaxLanes {
 			return fmt.Errorf("-vectors %d out of [1,%d]", *vectors, stoch.MaxLanes)

@@ -4,12 +4,15 @@
 //
 // Two engines are available: the event-driven reference engine (any
 // delay model, one vector stream per run) and the compiled bit-parallel
-// engine (zero-delay only, 64 Monte Carlo vectors per machine word).
+// engine (any delay model, 64 Monte Carlo vectors per machine word —
+// zero-delay runs the levelized program, unit/elmore the timed program
+// on an integer tick grid; -tick overrides the automatic resolution).
 //
 // Usage:
 //
 //	swsim -in circuit.blif [-stats file | -scenario A|B] [-horizon s] [-seed n]
-//	      [-delay unit|elmore|zero] [-engine event|bitparallel] [-vectors n] [-vcd out.vcd]
+//	      [-delay unit|elmore|zero] [-engine event|bitparallel] [-vectors n]
+//	      [-tick s] [-vcd out.vcd]
 package main
 
 import (
@@ -35,15 +38,16 @@ func main() {
 	delayMode := flag.String("delay", "unit", "gate delay model: unit, elmore or zero")
 	engine := flag.String("engine", "event", "simulation engine: event or bitparallel")
 	vectors := flag.Int("vectors", 0, "Monte Carlo vectors (default: 1 event, 64 bitparallel)")
+	tick := flag.Float64("tick", 0, "timed-simulation tick in seconds (0 = auto: the unit delay, or the fastest Elmore gate delay / 4)")
 	vcd := flag.String("vcd", "", "write a VCD waveform dump to this file (event engine only)")
 	flag.Parse()
-	if err := run(*in, *statsFile, *scenario, *horizon, *seed, *delayMode, *engine, *vectors, *vcd); err != nil {
+	if err := run(*in, *statsFile, *scenario, *horizon, *seed, *delayMode, *engine, *vectors, *tick, *vcd); err != nil {
 		fmt.Fprintln(os.Stderr, "swsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode, engineName string, vectors int, vcdPath string) error {
+func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode, engineName string, vectors int, tick float64, vcdPath string) error {
 	if in == "" {
 		return fmt.Errorf("missing -in")
 	}
@@ -71,9 +75,13 @@ func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode,
 	if err != nil {
 		return err
 	}
-	if eng == sim.BitParallel && prm.Mode != sim.ZeroDelay {
-		return fmt.Errorf("-engine bitparallel is zero-delay only: pass -delay zero (unit and elmore delay need -engine event)")
+	if tick < 0 {
+		return fmt.Errorf("-tick %g is negative", tick)
 	}
+	if tick > 0 && prm.Mode == sim.ZeroDelay {
+		return fmt.Errorf("-tick applies to timed simulation: pass -delay unit or elmore")
+	}
+	prm.Tick = tick
 	if eng == sim.BitParallel && vcdPath != "" {
 		return fmt.Errorf("-vcd needs the event engine: the bit-parallel engine does not record per-lane waveform traces")
 	}
@@ -135,12 +143,39 @@ func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode,
 	return nil
 }
 
-// runBitParallel compiles the circuit once and evaluates ceil(n/64)
+// runBitParallel compiles the circuit once (the levelized program under
+// zero delay, the timed program otherwise) and evaluates ceil(n/64)
 // packed batches, folding counts and averaging power across all vectors.
 func runBitParallel(c *circuit.Circuit, pi map[string]stoch.Signal, horizon float64, vectors int, rng *rand.Rand, prm sim.Params) (*sim.Result, error) {
-	prog, err := sim.Compile(c, prm)
-	if err != nil {
-		return nil, err
+	var runBatch func(lanes int) (*sim.BitResult, error)
+	if prm.Mode == sim.ZeroDelay {
+		prog, err := sim.Compile(c, prm)
+		if err != nil {
+			return nil, err
+		}
+		runBatch = func(lanes int) (*sim.BitResult, error) {
+			stim, err := sim.GeneratePackedWaveforms(c.Inputs, pi, horizon, lanes, rng)
+			if err != nil {
+				return nil, err
+			}
+			return prog.Run(stim)
+		}
+	} else {
+		prog, err := sim.CompileTimed(c, prm)
+		if err != nil {
+			return nil, err
+		}
+		runBatch = func(lanes int) (*sim.BitResult, error) {
+			laneWaves, err := sim.GenerateLaneWaveforms(c.Inputs, pi, horizon, lanes, rng)
+			if err != nil {
+				return nil, err
+			}
+			stim, err := prog.PackTimed(laneWaves, horizon)
+			if err != nil {
+				return nil, err
+			}
+			return prog.Run(stim)
+		}
 	}
 	total := &sim.Result{Horizon: horizon}
 	for done := 0; done < vectors; {
@@ -148,11 +183,7 @@ func runBitParallel(c *circuit.Circuit, pi map[string]stoch.Signal, horizon floa
 		if lanes > stoch.MaxLanes {
 			lanes = stoch.MaxLanes
 		}
-		stim, err := sim.GeneratePackedWaveforms(c.Inputs, pi, horizon, lanes, rng)
-		if err != nil {
-			return nil, err
-		}
-		br, err := prog.Run(stim)
+		br, err := runBatch(lanes)
 		if err != nil {
 			return nil, err
 		}

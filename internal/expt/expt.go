@@ -57,19 +57,24 @@ type Options struct {
 	Seed     int64        // base seed; per-benchmark seeds derive from it
 	Workers  int          // parallel benchmark rows in Run (≤ 1: sequential)
 	// SimVectors is the number of Monte Carlo vector lanes (1..64) a
-	// zero-delay measurement packs per word: zero-delay runs go through
-	// the compiled bit-parallel engine, which measures SimVectors
-	// independent stimulus realizations in one pass. Unit- and
-	// Elmore-delay runs use the event-driven engine and ignore it.
+	// bit-parallel measurement packs per word: with Sim.Engine ==
+	// sim.BitParallel (the default here), zero-delay runs go through the
+	// compiled levelized engine and unit-/Elmore-delay runs through the
+	// timed compiled engine, each measuring SimVectors independent
+	// stimulus realizations in one pass. With Sim.Engine ==
+	// sim.EventDriven the S column falls back to one event-driven
+	// realization and SimVectors is ignored.
 	SimVectors int
 	Lib        *library.Library
 }
 
 // DefaultOptions mirrors the paper's setup (densities up to one million
 // transitions per second, a 10 MHz scenario-B clock) with horizons chosen
-// so every input sees hundreds of transitions.
+// so every input sees hundreds of transitions. The S column measures on
+// the compiled bit-parallel backends in every delay mode; set Sim.Engine
+// to sim.EventDriven for the single-realization reference path.
 func DefaultOptions() Options {
-	return Options{
+	opt := Options{
 		Params:     core.DefaultParams(),
 		Delay:      delay.DefaultParams(),
 		Sim:        sim.DefaultParams(),
@@ -82,6 +87,8 @@ func DefaultOptions() Options {
 		SimVectors: stoch.MaxLanes,
 		Lib:        library.Default(),
 	}
+	opt.Sim.Engine = sim.BitParallel
+	return opt
 }
 
 // InputStats draws primary-input statistics for the scenario. Scenario A
@@ -245,58 +252,81 @@ func RunCircuit(c *circuit.Circuit, sc Scenario, opt Options) (Table3Row, error)
 	return row, nil
 }
 
+// scenarioSignals converts the per-second input statistics into the form
+// the scenario's waveform generator consumes: scenario B latches inputs
+// on a clock, so densities become transitions per cycle. Shared by every
+// S-column measurement path.
+func scenarioSignals(pi map[string]stoch.Signal, sc Scenario, opt Options) map[string]stoch.Signal {
+	if sc != ScenarioB {
+		return pi
+	}
+	perCycle := make(map[string]stoch.Signal, len(pi))
+	for net, s := range pi {
+		perCycle[net] = stoch.Signal{P: s.P, D: s.D * opt.PeriodB}
+	}
+	return perCycle
+}
+
+// scenarioHorizon returns the simulated seconds of one realization.
+func scenarioHorizon(sc Scenario, opt Options) float64 {
+	if sc == ScenarioB {
+		return float64(opt.CyclesB) * opt.PeriodB
+	}
+	return opt.HorizonA
+}
+
+// generateScenarioWaveforms draws one stimulus realization appropriate to
+// the scenario from the rng.
+func generateScenarioWaveforms(inputs []string, sigs map[string]stoch.Signal, sc Scenario, opt Options, rng *rand.Rand) (map[string]*stoch.Waveform, error) {
+	if sc == ScenarioB {
+		return sim.GenerateClockedWaveforms(inputs, sigs, opt.CyclesB, opt.PeriodB, rng)
+	}
+	return sim.GenerateWaveforms(inputs, sigs, opt.HorizonA, rng)
+}
+
 // SimReduction measures the switch-level-simulated best-vs-worst power
 // reduction (Table 3's S column): both circuits simulated under identical
-// scenario-appropriate stimulus drawn deterministically from seed.
-// Zero-delay measurements run on the compiled bit-parallel engine with
-// opt.SimVectors Monte Carlo lanes per word; unit- and Elmore-delay
-// measurements use the event-driven engine (the reference for glitch
-// power).
+// scenario-appropriate stimulus drawn deterministically from seed. With
+// opt.Sim.Engine == sim.BitParallel (the default) the measurement packs
+// opt.SimVectors Monte Carlo lanes per word — zero-delay runs on the
+// levelized compiled engine, unit- and Elmore-delay runs on the timed
+// compiled engine (both circuits on one shared tick grid). The
+// event-driven fallback (opt.Sim.Engine == sim.EventDriven) simulates one
+// realization, reused across the best/worst pair exactly like the packed
+// paths reuse theirs.
 func SimReduction(c, best, worst *circuit.Circuit, pi map[string]stoch.Signal, sc Scenario, seed int64, opt Options) (float64, error) {
 	rng := rand.New(rand.NewSource(seed))
-	if opt.Sim.Mode == sim.ZeroDelay {
-		lanes := opt.SimVectors
-		if lanes == 0 {
-			lanes = stoch.MaxLanes
-		}
-		var stim *stoch.PackedStimulus
-		var err error
-		switch sc {
-		case ScenarioA:
-			stim, err = sim.GeneratePackedWaveforms(c.Inputs, pi, opt.HorizonA, lanes, rng)
-		default:
-			perCycle := make(map[string]stoch.Signal, len(pi))
-			for net, s := range pi {
-				perCycle[net] = stoch.Signal{P: s.P, D: s.D * opt.PeriodB}
-			}
-			stim, err = sim.GeneratePackedClockedWaveforms(c.Inputs, perCycle, opt.CyclesB, opt.PeriodB, lanes, rng)
-		}
+	sigs := scenarioSignals(pi, sc, opt)
+	horizon := scenarioHorizon(sc, opt)
+	if opt.Sim.Engine == sim.EventDriven {
+		// Event-engine fallback: one realization shared by both circuits.
+		waves, err := generateScenarioWaveforms(c.Inputs, sigs, sc, opt, rng)
 		if err != nil {
 			return 0, err
 		}
-		red, _, _, err := sim.MeasureReductionPacked(best, worst, stim, opt.Sim)
+		red, _, _, err := sim.MeasureReduction(best, worst, waves, horizon, opt.Sim)
 		return red, err
 	}
-	var waves map[string]*stoch.Waveform
-	var horizon float64
-	var err error
-	switch sc {
-	case ScenarioA:
-		horizon = opt.HorizonA
-		waves, err = sim.GenerateWaveforms(c.Inputs, pi, horizon, rng)
-	default:
-		horizon = float64(opt.CyclesB) * opt.PeriodB
-		perCycle := make(map[string]stoch.Signal, len(pi))
-		for net, s := range pi {
-			perCycle[net] = stoch.Signal{P: s.P, D: s.D * opt.PeriodB}
+	lanes := opt.SimVectors
+	if lanes == 0 {
+		lanes = stoch.MaxLanes
+	}
+	laneWaves := make([]map[string]*stoch.Waveform, lanes)
+	for l := range laneWaves {
+		w, err := generateScenarioWaveforms(c.Inputs, sigs, sc, opt, rng)
+		if err != nil {
+			return 0, err
 		}
-		waves, err = sim.GenerateClockedWaveforms(c.Inputs, perCycle, opt.CyclesB, opt.PeriodB, rng)
+		laneWaves[l] = w
 	}
-	if err != nil {
-		return 0, err
+	if opt.Sim.Mode == sim.ZeroDelay {
+		stim, err := stoch.PackWaveforms(c.Inputs, laneWaves, horizon)
+		if err != nil {
+			return 0, err
+		}
+		return sim.ReductionPacked(best, worst, stim, opt.Sim)
 	}
-	red, _, _, err := sim.MeasureReduction(best, worst, waves, horizon, opt.Sim)
-	return red, err
+	return sim.ReductionTimed(best, worst, laneWaves, horizon, opt.Sim)
 }
 
 // DelayIncrease returns the relative critical-path change from before to

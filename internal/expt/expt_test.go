@@ -8,6 +8,7 @@ import (
 	"repro/internal/mcnc"
 	"repro/internal/reorder"
 	"repro/internal/sim"
+	"repro/internal/stoch"
 )
 
 func TestInputStatsScenarios(t *testing.T) {
@@ -164,6 +165,113 @@ func TestSimReductionZeroDelayUsesBitParallel(t *testing.T) {
 	}
 	if redB <= -0.05 {
 		t.Errorf("scenario B zero-delay reduction %.3f strongly negative", redB)
+	}
+}
+
+// TestSimReductionTimedUsesBitParallel: with the default bit-parallel
+// engine, unit- and Elmore-delay S-column measurements route through the
+// timed compiled backend — SimVectors Monte Carlo lanes, deterministic in
+// the seed, and in rough agreement with the event-driven fallback on the
+// winner.
+func TestSimReductionTimedUsesBitParallel(t *testing.T) {
+	opt := DefaultOptions()
+	opt.HorizonA = 2e-4
+	opt.CyclesB = 300
+	opt.SimVectors = 16
+	c, err := mcnc.Load("rca4", opt.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := InputStats(c, ScenarioA, opt)
+	ro := reorder.DefaultOptions()
+	ro.Params = opt.Params
+	best, worst, err := reorder.BestAndWorst(c, pi, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []sim.DelayMode{sim.UnitDelay, sim.ElmoreDelay} {
+		opt.Sim.Mode = mode
+		red1, err := SimReduction(c, best.Circuit, worst.Circuit, pi, ScenarioA, 42, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red2, err := SimReduction(c, best.Circuit, worst.Circuit, pi, ScenarioA, 42, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red1 != red2 {
+			t.Errorf("mode %v: timed SimReduction not deterministic: %v vs %v", mode, red1, red2)
+		}
+		if red1 <= 0 {
+			t.Errorf("mode %v: timed bit-parallel reduction %.3f not positive", mode, red1)
+		}
+		// Scenario B exercises the clocked generator through the timed path.
+		piB := InputStats(c, ScenarioB, opt)
+		redB, err := SimReduction(c, best.Circuit, worst.Circuit, piB, ScenarioB, 42, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if redB <= -1 || redB >= 1 {
+			t.Errorf("mode %v: scenario B timed reduction %v outside (-1,1)", mode, redB)
+		}
+	}
+}
+
+// TestSimReductionEventFallback: Engine == EventDriven keeps the
+// single-realization event path alive in every delay mode, sharing one
+// stimulus across the best/worst pair (deterministic in the seed).
+func TestSimReductionEventFallback(t *testing.T) {
+	opt := DefaultOptions()
+	opt.HorizonA = 2e-4
+	opt.Sim.Engine = sim.EventDriven
+	c, err := mcnc.Load("c17", opt.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := InputStats(c, ScenarioA, opt)
+	ro := reorder.DefaultOptions()
+	ro.Params = opt.Params
+	best, worst, err := reorder.BestAndWorst(c, pi, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []sim.DelayMode{sim.UnitDelay, sim.ElmoreDelay, sim.ZeroDelay} {
+		opt.Sim.Mode = mode
+		red1, err := SimReduction(c, best.Circuit, worst.Circuit, pi, ScenarioA, 7, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red2, err := SimReduction(c, best.Circuit, worst.Circuit, pi, ScenarioA, 7, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red1 != red2 {
+			t.Errorf("mode %v: event fallback not deterministic: %v vs %v", mode, red1, red2)
+		}
+		if red1 <= -1 || red1 >= 1 {
+			t.Errorf("mode %v: event fallback reduction %v outside (-1,1)", mode, red1)
+		}
+	}
+}
+
+// TestScenarioSignals: the hoisted helper converts densities to
+// transitions/cycle for scenario B and passes scenario A through.
+func TestScenarioSignals(t *testing.T) {
+	opt := DefaultOptions()
+	pi := map[string]stoch.Signal{"x": {P: 0.3, D: 4e5}}
+	if got := scenarioSignals(pi, ScenarioA, opt); got["x"] != pi["x"] {
+		t.Errorf("scenario A altered the statistics: %v", got["x"])
+	}
+	got := scenarioSignals(pi, ScenarioB, opt)
+	want := stoch.Signal{P: 0.3, D: 4e5 * opt.PeriodB}
+	if got["x"] != want {
+		t.Errorf("scenario B statistics %v, want %v", got["x"], want)
+	}
+	if h := scenarioHorizon(ScenarioB, opt); h != float64(opt.CyclesB)*opt.PeriodB {
+		t.Errorf("scenario B horizon %g", h)
+	}
+	if h := scenarioHorizon(ScenarioA, opt); h != opt.HorizonA {
+		t.Errorf("scenario A horizon %g", h)
 	}
 }
 

@@ -29,10 +29,12 @@ type BitResult struct {
 }
 
 // RunPacked compiles the circuit and evaluates the packed stimulus on the
-// bit-parallel engine. prm must describe a zero-delay setup.
+// zero-delay bit-parallel engine. prm must describe a zero-delay setup;
+// timed setups go through CompileTimed and a TimedStimulus instead (the
+// per-lane settling instants of a PackedStimulus carry no shared clock).
 func RunPacked(c *circuit.Circuit, stim *stoch.PackedStimulus, prm Params) (*BitResult, error) {
 	if prm.Mode != ZeroDelay {
-		return nil, fmt.Errorf("sim: the bit-parallel engine is zero-delay only: %s delay needs the event engine", prm.Mode.name())
+		return nil, fmt.Errorf("sim: RunPacked is zero-delay only: %s delay needs CompileTimed and a timed stimulus", prm.Mode.name())
 	}
 	p, err := Compile(c, prm)
 	if err != nil {
@@ -56,28 +58,24 @@ func (p *Program) RunLanes(stim *stoch.PackedStimulus) (*BitResult, error) {
 	return p.run(stim, true)
 }
 
-func (p *Program) run(stim *stoch.PackedStimulus, perLane bool) (*BitResult, error) {
-	if err := stim.Validate(); err != nil {
-		return nil, err
+// RunEnergy is the lean measurement path: total metered energy in joules
+// across all lanes, with no per-net result assembly — the sweep engine's
+// S column only needs this number. Steady-state calls do not allocate:
+// the register file and count slices come from a per-program pool.
+func (p *Program) RunEnergy(stim *stoch.PackedStimulus) (float64, error) {
+	sc, err := p.execStim(stim, nil)
+	if err != nil {
+		return 0, err
 	}
-	// Map program inputs onto stimulus rows by name.
-	stimIdx := make(map[string]int, len(stim.Inputs))
-	for i, in := range stim.Inputs {
-		stimIdx[in] = i
+	var energy float64
+	for mi := range p.meters {
+		energy += p.meters[mi].energy * float64(sc.counts[mi])
 	}
-	inRow := make([]int, len(p.inputs))
-	for i, in := range p.inputs {
-		row, ok := stimIdx[in]
-		if !ok {
-			return nil, fmt.Errorf("sim: packed stimulus has no row for input %q", in)
-		}
-		inRow[i] = row
-	}
+	p.putScratch(sc)
+	return energy, nil
+}
 
-	mask := stim.LaneMask()
-	regs := make([]uint64, p.numRegs)
-	regs[1] = ^uint64(0)
-	counts := make([]int64, len(p.meters))
+func (p *Program) run(stim *stoch.PackedStimulus, perLane bool) (*BitResult, error) {
 	var laneCounts [][]int
 	if perLane {
 		laneCounts = make([][]int, len(p.meters))
@@ -85,27 +83,82 @@ func (p *Program) run(stim *stoch.PackedStimulus, perLane bool) (*BitResult, err
 			laneCounts[i] = make([]int, stim.Lanes)
 		}
 	}
+	sc, err := p.execStim(stim, laneCounts)
+	if err != nil {
+		return nil, err
+	}
+	br := assembleResult(p.gates, p.meters, stim.Lanes, stim.Steps, stim.Horizon, sc.counts, laneCounts)
+	p.putScratch(sc)
+	return br, nil
+}
+
+// runScratch is the pooled register file + count slice of one evaluation.
+type runScratch struct {
+	regs   []uint64
+	counts []int64
+}
+
+func (p *Program) getScratch() *runScratch {
+	if sc, ok := p.scratch.Get().(*runScratch); ok {
+		for i := range sc.regs {
+			sc.regs[i] = 0
+		}
+		for i := range sc.counts {
+			sc.counts[i] = 0
+		}
+		return sc
+	}
+	return &runScratch{
+		regs:   make([]uint64, p.numRegs),
+		counts: make([]int64, len(p.meters)),
+	}
+}
+
+func (p *Program) putScratch(sc *runScratch) { p.scratch.Put(sc) }
+
+// execStim evaluates the packed stimulus and returns the scratch holding
+// raw meter counts; the caller must put it back.
+func (p *Program) execStim(stim *stoch.PackedStimulus, laneCounts [][]int) (*runScratch, error) {
+	if err := stim.Validate(); err != nil {
+		return nil, err
+	}
+	inRow, err := matchInputs(p.inputs, stim.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	mask := stim.LaneMask()
+	sc := p.getScratch()
+	regs, counts := sc.regs, sc.counts
+	regs[1] = ^uint64(0)
 
 	// t=0 settle: load initial inputs, evaluate, commit without metering.
 	for i, r := range p.inReg {
-		regs[r] = stim.Initial[inRow[i]] & mask
+		row := i
+		if inRow != nil {
+			row = inRow[i]
+		}
+		regs[r] = stim.Initial[row] & mask
 	}
-	p.exec(regs)
+	execOps(p.ops, regs)
 	for _, mp := range p.meters {
 		regs[mp.stateReg] = regs[mp.valueReg]
 	}
 
 	for s := 0; s < stim.Steps; s++ {
 		for i, r := range p.inReg {
-			regs[r] = stim.Bits[inRow[i]][s] & mask
+			row := i
+			if inRow != nil {
+				row = inRow[i]
+			}
+			regs[r] = stim.Bits[row][s] & mask
 		}
-		p.exec(regs)
+		execOps(p.ops, regs)
 		for mi := range p.meters {
 			mp := &p.meters[mi]
 			d := (regs[mp.valueReg] ^ regs[mp.stateReg]) & mask
 			if d != 0 {
 				counts[mi] += int64(bits.OnesCount64(d))
-				if perLane {
+				if laneCounts != nil {
 					lc := laneCounts[mi]
 					for w := d; w != 0; w &= w - 1 {
 						lc[bits.TrailingZeros64(w)]++
@@ -115,14 +168,13 @@ func (p *Program) run(stim *stoch.PackedStimulus, perLane bool) (*BitResult, err
 			}
 		}
 	}
-
-	return p.assemble(stim, counts, laneCounts), nil
+	return sc, nil
 }
 
-// exec runs the compiled op stream once.
-func (p *Program) exec(regs []uint64) {
-	for i := range p.ops {
-		op := &p.ops[i]
+// execOps runs a compiled op stream once over the register file.
+func execOps(ops []bitOp, regs []uint64) {
+	for i := range ops {
+		op := &ops[i]
 		switch op.code {
 		case opAnd:
 			regs[op.dst] = regs[op.a] & regs[op.b]
@@ -136,35 +188,37 @@ func (p *Program) exec(regs []uint64) {
 	}
 }
 
-// assemble folds raw meter counts into a BitResult.
-func (p *Program) assemble(stim *stoch.PackedStimulus, counts []int64, laneCounts [][]int) *BitResult {
+// assembleResult folds raw meter counts into a BitResult — shared by the
+// zero-delay and timed bit-parallel engines. steps is the engine's
+// settled-instant count (also reported as Result.Events).
+func assembleResult(gates []*circuit.Instance, meters []meterPoint, lanes, steps int, horizon float64, counts []int64, laneCounts [][]int) *BitResult {
 	br := &BitResult{
 		Result: Result{
-			Horizon:        stim.Horizon,
-			PerGate:        make(map[string]float64, len(p.gates)),
-			NetTransitions: make(map[string]int, len(p.inputs)+len(p.gates)),
-			Events:         stim.Steps,
+			Horizon:        horizon,
+			PerGate:        make(map[string]float64, len(gates)),
+			NetTransitions: make(map[string]int, len(meters)),
+			Events:         steps,
 		},
-		Lanes: stim.Lanes,
-		Steps: stim.Steps,
+		Lanes: lanes,
+		Steps: steps,
 	}
 	perLane := laneCounts != nil
 	if perLane {
 		br.LaneNetTransitions = map[string][]int{}
-		br.LaneInternalFlips = make([]int, stim.Lanes)
-		br.LaneOutputFlips = make([]int, stim.Lanes)
-		br.LaneEnergy = make([]float64, stim.Lanes)
+		br.LaneInternalFlips = make([]int, lanes)
+		br.LaneOutputFlips = make([]int, lanes)
+		br.LaneEnergy = make([]float64, lanes)
 	}
-	for _, g := range p.gates {
+	for _, g := range gates {
 		br.PerGate[g.Name] = 0
 	}
-	for mi := range p.meters {
-		mp := &p.meters[mi]
+	for mi := range meters {
+		mp := &meters[mi]
 		n := int(counts[mi])
 		e := mp.energy * float64(n)
 		br.Energy += e
 		if mp.gate >= 0 {
-			br.PerGate[p.gates[mp.gate].Name] += e
+			br.PerGate[gates[mp.gate].Name] += e
 		}
 		switch mp.kind {
 		case meterInput, meterOutput:
@@ -180,7 +234,7 @@ func (p *Program) assemble(stim *stoch.PackedStimulus, counts []int64, laneCount
 			if mp.kind == meterInput || mp.kind == meterOutput {
 				row := br.LaneNetTransitions[mp.net]
 				if row == nil {
-					row = make([]int, stim.Lanes)
+					row = make([]int, lanes)
 					br.LaneNetTransitions[mp.net] = row
 				}
 				for l, c := range lc {
@@ -198,7 +252,7 @@ func (p *Program) assemble(stim *stoch.PackedStimulus, counts []int64, laneCount
 			}
 		}
 	}
-	br.Power = br.Energy / (float64(stim.Lanes) * stim.Horizon)
+	br.Power = br.Energy / (float64(lanes) * horizon)
 	return br
 }
 
@@ -242,6 +296,35 @@ func generateLaneWaveforms(inputs []string, lanes int, gen func() (map[string]*s
 		laneWaves[l] = w
 	}
 	return laneWaves, nil
+}
+
+// ReductionPacked is the lean form of MeasureReductionPacked: the
+// reduction alone, measured through the pooled RunEnergy path — the sweep
+// engine's zero-delay hot loop.
+func ReductionPacked(best, worst *circuit.Circuit, stim *stoch.PackedStimulus, prm Params) (float64, error) {
+	if prm.Mode != ZeroDelay {
+		return 0, fmt.Errorf("sim: the zero-delay bit-parallel engine got %s delay: use ReductionTimed", prm.Mode.name())
+	}
+	pb, err := Compile(best, prm)
+	if err != nil {
+		return 0, fmt.Errorf("sim: best circuit: %w", err)
+	}
+	pw, err := Compile(worst, prm)
+	if err != nil {
+		return 0, fmt.Errorf("sim: worst circuit: %w", err)
+	}
+	eb, err := pb.RunEnergy(stim)
+	if err != nil {
+		return 0, fmt.Errorf("sim: best circuit: %w", err)
+	}
+	ew, err := pw.RunEnergy(stim)
+	if err != nil {
+		return 0, fmt.Errorf("sim: worst circuit: %w", err)
+	}
+	if ew == 0 {
+		return 0, nil
+	}
+	return (ew - eb) / ew, nil
 }
 
 // MeasureReductionPacked measures (worstPower-bestPower)/worstPower on

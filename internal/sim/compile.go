@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/gate"
@@ -74,8 +75,9 @@ type meterPoint struct {
 }
 
 // Program is a circuit compiled for the bit-parallel engine. It is
-// immutable after Compile and safe for concurrent Run calls (each run
-// allocates its own register file).
+// immutable after Compile and safe for concurrent Run calls (register
+// files and count slices are pooled per program, so steady-state runs do
+// not allocate).
 type Program struct {
 	circ    *circuit.Circuit
 	inputs  []string // primary inputs, program order
@@ -85,6 +87,8 @@ type Program struct {
 	inReg   []int32 // value register per primary input
 	meters  []meterPoint
 	levels  int // logic depth of the levelized op stream, for reports
+
+	scratch sync.Pool // *runScratch
 }
 
 // NumOps returns the length of the compiled instruction stream.
@@ -224,12 +228,19 @@ func truthTable(f logic.Func) uint64 {
 	return tt
 }
 
+// wordEmitter appends a word op writing a fresh register and returns it —
+// implemented by both Program (zero-delay) and TimedProgram (timed.go) so
+// one gate compiler serves both lowerings.
+type wordEmitter interface {
+	emit(code opCode, a, b int32) int32
+}
+
 // gateCompiler lowers truth tables over one gate's input registers into
 // word ops, sharing subfunctions across the gate's H and G functions
 // through the memo (keyed by truth table — all functions of one gate
 // range over the same variables).
 type gateCompiler struct {
-	p    *Program
+	p    wordEmitter
 	n    int     // gate input count
 	vars []int32 // register per gate input
 	memo map[uint64]int32

@@ -191,8 +191,10 @@ func TestCompileRejectsWideGate(t *testing.T) {
 	}
 }
 
-// TestRunPackedRejectsNonZeroDelay: the bit-parallel engine must refuse
-// unit- and Elmore-delay parameter sets.
+// TestRunPackedRejectsNonZeroDelay: the zero-delay packed entry point
+// must refuse unit- and Elmore-delay parameter sets (they need the timed
+// engine's shared-clock stimulus), while Params.Validate accepts the
+// bit-parallel engine in every delay mode since the timed backend exists.
 func TestRunPackedRejectsNonZeroDelay(t *testing.T) {
 	nandCell := gate.MustNew("nand2", []string{"a", "b"}, sp.MustParse("s(a,b)"))
 	c := nandCircuit(nandCell)
@@ -202,12 +204,16 @@ func TestRunPackedRejectsNonZeroDelay(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := RunPacked(c, stim, DefaultParams()); err == nil {
-		t.Fatal("unit-delay parameters accepted by the bit-parallel engine")
+		t.Fatal("unit-delay parameters accepted by the zero-delay packed engine")
 	}
-	bad := DefaultParams()
-	bad.Engine = BitParallel
-	if err := bad.Validate(); err == nil {
-		t.Fatal("Params.Validate accepted bit-parallel with unit delay")
+	prm := DefaultParams()
+	prm.Engine = BitParallel
+	if err := prm.Validate(); err != nil {
+		t.Fatalf("Params.Validate rejected bit-parallel with unit delay: %v", err)
+	}
+	prm.Tick = -1
+	if err := prm.Validate(); err == nil {
+		t.Fatal("negative tick accepted")
 	}
 }
 

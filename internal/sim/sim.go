@@ -6,22 +6,30 @@
 // included, exactly the quantity the paper's model predicts. Column S of
 // Table 3 is measured with this simulator.
 //
-// Two engines share these semantics:
+// Three backends share these semantics:
 //
 //   - The event-driven engine (this file): a time-ordered event queue over
 //     named nets. Gates have either a fixed ("unit") or an Elmore-model
 //     output delay, so reconvergent paths generate the useless transitions
 //     (glitches) whose power the paper's introduction highlights; a
 //     zero-delay mode settles the circuit atomically per input instant.
+//     Timed modes run on a discrete tick grid (Params.Tick) with
+//     instant-atomic delta-cycle semantics — see runTimed.
 //   - The compiled bit-parallel engine (compile.go, bitsim.go): the
 //     circuit is lowered once into a flat, levelized word-op program over
 //     dense node indices and evaluated on 64 packed Monte Carlo vectors
-//     per machine word. Zero-delay only; lane-for-lane equivalent to the
+//     per machine word. Zero-delay; lane-for-lane equivalent to the
 //     event-driven engine's zero-delay mode.
+//   - The timed compiled engine (timed.go): the same word-op lowering,
+//     but per gate, driven by a word-level timing wheel over the tick
+//     grid. Unit- and Elmore-delay; lane-for-lane equivalent to the
+//     event-driven engine's timed modes at the same tick.
 package sim
 
 import (
+	"cmp"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/circuit"
@@ -51,7 +59,9 @@ const (
 	EventDriven Engine = iota
 	// BitParallel is the compiled engine: the circuit is lowered to a flat
 	// word-op program and evaluated on up to 64 packed vectors per word.
-	// Zero-delay mode only.
+	// Zero-delay runs the levelized program (compile.go); unit- and
+	// Elmore-delay run the timed word-op program on a timing wheel
+	// (timed.go).
 	BitParallel
 )
 
@@ -83,7 +93,25 @@ type Params struct {
 	Unit   float64      // gate delay for UnitDelay mode, seconds
 	Delay  delay.Params // electrical constants for ElmoreDelay mode
 	Engine Engine       // simulation backend (default: event-driven)
+
+	// Tick is the duration, in seconds, of the discrete time grid the
+	// timed modes run on: input-event times snap to the nearest tick
+	// (at most half a tick of skew per event) and every gate's output
+	// delay is quantized to max(1, round(delay/Tick)) ticks, so the
+	// per-gate delay error is at most Tick/2 (and strictly below Tick
+	// when a sub-tick delay clamps to one tick). Zero selects the
+	// automatic resolution: the unit delay itself in UnitDelay mode
+	// (delays are then exact), or the fastest gate delay divided by
+	// elmoreTickDiv in ElmoreDelay mode. Both the event-driven and the
+	// timed bit-parallel engine use the same grid, which is what makes
+	// them lane-for-lane comparable. Ignored in zero-delay mode.
+	Tick float64
 }
+
+// elmoreTickDiv is the automatic Elmore tick resolution: the fastest gate
+// delay spans this many ticks, bounding the per-stage relative delay error
+// by 1/(2·elmoreTickDiv) on the fastest gate (smaller on slower ones).
+const elmoreTickDiv = 4
 
 // DefaultParams uses unit delays of 1 ns and the shared electrical
 // constants.
@@ -114,16 +142,79 @@ func (p Params) Validate() error {
 	default:
 		return fmt.Errorf("sim: unknown delay mode %d", int(p.Mode))
 	}
+	if p.Tick < 0 || math.IsNaN(p.Tick) || math.IsInf(p.Tick, 0) {
+		return fmt.Errorf("sim: tick %v must be zero (auto) or a positive duration", p.Tick)
+	}
 	switch p.Engine {
-	case EventDriven:
-	case BitParallel:
-		if p.Mode != ZeroDelay {
-			return fmt.Errorf("sim: the bit-parallel engine is zero-delay only: %s delay needs the event engine", p.Mode.name())
-		}
+	case EventDriven, BitParallel:
 	default:
 		return fmt.Errorf("sim: unknown engine %d", int(p.Engine))
 	}
 	return nil
+}
+
+// gateDelaySeconds returns every gate's output delay in seconds, in the
+// given topological order: the unit delay in UnitDelay mode, the slowest
+// pin's Elmore delay in ElmoreDelay mode (the triggering pin of a
+// multi-input change is unknown, so the conservative bound is used — the
+// same rule the event engine has always applied). Both timed backends
+// derive their tick grid and per-gate tick delays from this one function,
+// which keeps them numerically identical.
+func gateDelaySeconds(order []*circuit.Instance, fanout map[string]int, prm Params) ([]float64, error) {
+	delays := make([]float64, len(order))
+	for gi, g := range order {
+		switch prm.Mode {
+		case UnitDelay:
+			delays[gi] = prm.Unit
+		case ElmoreDelay:
+			pd, err := delay.PinDelays(g.Cell, prm.Cap.OutputLoad(fanout[g.Out]), prm.Delay)
+			if err != nil {
+				return nil, fmt.Errorf("sim: instance %s: %w", g.Name, err)
+			}
+			for _, d := range pd {
+				if d > delays[gi] {
+					delays[gi] = d
+				}
+			}
+		default:
+			return nil, fmt.Errorf("sim: %s delay has no gate delays", prm.Mode.name())
+		}
+	}
+	return delays, nil
+}
+
+// resolveTick picks the tick duration for a timed run: the explicit
+// Params.Tick when set, the unit delay in UnitDelay mode (gate delays are
+// then exactly one tick), or the fastest gate delay / elmoreTickDiv in
+// ElmoreDelay mode.
+func resolveTick(prm Params, delays []float64) (float64, error) {
+	if prm.Tick > 0 {
+		return prm.Tick, nil
+	}
+	if prm.Mode == UnitDelay {
+		return prm.Unit, nil
+	}
+	min := math.Inf(1)
+	for _, d := range delays {
+		if d < min {
+			min = d
+		}
+	}
+	if math.IsInf(min, 1) || min <= 0 {
+		return 0, fmt.Errorf("sim: cannot derive a tick from gate delays (min %v); set Params.Tick", min)
+	}
+	return min / elmoreTickDiv, nil
+}
+
+// quantizeDelay converts a gate delay to ticks: nearest tick, at least
+// one. The quantization error is at most tick/2, except for sub-half-tick
+// delays clamped to one tick, where it stays strictly below one tick.
+func quantizeDelay(d, tick float64) int64 {
+	t := int64(math.Round(d / tick))
+	if t < 1 {
+		t = 1
+	}
+	return t
 }
 
 func (m DelayMode) name() string {
@@ -181,12 +272,13 @@ func (r *Result) Accumulate(o *Result) {
 }
 
 // Run simulates the circuit over [0, horizon] with the given input
-// waveforms (one per primary input). With Params.Engine == BitParallel
-// (zero-delay only) the waveforms are bit-packed into a single lane and
-// evaluated by the compiled engine: every measured quantity —
-// transitions, flips, energies, power — is identical; only
-// Result.Events is engine-defined (processed events for the event
-// engine, settling steps for the compiled one).
+// waveforms (one per primary input). With Params.Engine == BitParallel the
+// waveforms are bit-packed into a single lane and evaluated by the
+// compiled engine (the levelized program in zero-delay mode, the timed
+// word-op program otherwise): every measured quantity — transitions,
+// flips, energies, power — is identical; only Result.Events is
+// engine-defined (processed events for the event engine, settling steps
+// for the compiled ones).
 func Run(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, prm Params) (*Result, error) {
 	if err := prm.Validate(); err != nil {
 		return nil, err
@@ -198,6 +290,21 @@ func Run(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, 
 		return nil, err
 	}
 	if prm.Engine == BitParallel {
+		if prm.Mode != ZeroDelay {
+			prog, err := CompileTimed(c, prm)
+			if err != nil {
+				return nil, err
+			}
+			stim, err := prog.PackTimed([]map[string]*stoch.Waveform{waves}, horizon)
+			if err != nil {
+				return nil, err
+			}
+			br, err := prog.Run(stim)
+			if err != nil {
+				return nil, err
+			}
+			return &br.Result, nil
+		}
 		stim, err := stoch.PackWaveforms(c.Inputs, []map[string]*stoch.Waveform{waves}, horizon)
 		if err != nil {
 			return nil, err
@@ -212,27 +319,58 @@ func Run(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon float64, 
 	if err != nil {
 		return nil, err
 	}
-	// Initial input values.
+	if err := s.start(waves, horizon); err != nil {
+		return nil, err
+	}
+	return s.result(horizon), nil
+}
+
+// start settles the t=0 state, enqueues the stimulus (quantized to the
+// tick grid in timed modes) and runs the event loop to the horizon.
+func (s *simulator) start(waves map[string]*stoch.Waveform, horizon float64) error {
+	if err := s.init(waves); err != nil {
+		return err
+	}
+	s.drive(waves, horizon)
+	return nil
+}
+
+// init settles the t=0 steady state from the waveforms' initial values.
+func (s *simulator) init(waves map[string]*stoch.Waveform) error {
 	init := map[string]bool{}
-	for _, in := range c.Inputs {
+	for _, in := range s.c.Inputs {
 		w, ok := waves[in]
 		if !ok {
-			return nil, fmt.Errorf("sim: no waveform for input %q", in)
+			return fmt.Errorf("sim: no waveform for input %q", in)
 		}
 		init[in] = w.Initial
 	}
 	s.settle(init)
-	// Queue the input events.
-	for _, in := range c.Inputs {
-		for _, e := range waves[in].Events {
-			if e.Time > horizon {
-				break
+	return nil
+}
+
+// drive enqueues the stimulus (quantized to the tick grid in timed modes)
+// and runs the event loop to the horizon.
+func (s *simulator) drive(waves map[string]*stoch.Waveform, horizon float64) {
+	if s.prm.Mode == ZeroDelay {
+		for _, in := range s.c.Inputs {
+			for _, e := range waves[in].Events {
+				if e.Time > horizon {
+					break
+				}
+				s.push(event{time: e.Time, net: in, val: e.Value})
 			}
-			s.push(event{time: e.Time, net: in, val: e.Value})
+		}
+		s.runZero(horizon)
+		return
+	}
+	s.horizonTicks = stoch.TicksIn(horizon, s.tick)
+	for _, in := range s.c.Inputs {
+		for _, te := range stoch.QuantizeWaveform(waves[in], s.tick, s.horizonTicks) {
+			s.push(event{time: float64(te.Tick), net: in, val: te.Value})
 		}
 	}
-	s.run(horizon)
-	return s.result(horizon), nil
+	s.runTimed()
 }
 
 // event is one scheduled change: a primary-input edge (inst == nil) or a
@@ -254,18 +392,19 @@ func (e event) before(o event) bool {
 }
 
 type instState struct {
-	inst      *circuit.Instance
-	graph     *gate.Graph
-	eval      *gate.Evaluator
-	nodes     []bool        // current node states (charge retention)
-	scratch   []bool        // double buffer for the next node states
-	internal  []gate.NodeID // cached internal-node list
-	caps      []float64     // per node, internal nodes only meaningful
-	outCap    float64
-	pinDelays []float64 // per pin (Elmore mode)
-	delay     float64   // unit-mode delay
-	energy    float64
-	dirty     bool // pending re-evaluation (zero-delay settle)
+	inst       *circuit.Instance
+	graph      *gate.Graph
+	eval       *gate.Evaluator
+	idx        int           // topological index into simulator.insts
+	nodes      []bool        // current node states (charge retention)
+	scratch    []bool        // double buffer for the next node states
+	internal   []gate.NodeID // cached internal-node list
+	caps       []float64     // per node, internal nodes only meaningful
+	outCap     float64
+	delayTicks int64 // quantized output delay (timed modes)
+	energy     float64
+	dirty      bool // pending re-evaluation at the current instant
+	fireNow    bool // pending output update at the current instant
 }
 
 type simulator struct {
@@ -277,6 +416,10 @@ type simulator struct {
 	queue   []event                 // hand-rolled binary min-heap
 	seq     int64
 	halfCV2 float64
+
+	tick         float64 // seconds per tick (timed modes)
+	horizonTicks int64
+	agenda       []int32 // min-heap of marked gate indices (timed instants)
 
 	internalFlips int
 	outputFlips   int
@@ -302,7 +445,16 @@ func newSimulator(c *circuit.Circuit, prm Params) (*simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, g := range order {
+	var delays []float64
+	if prm.Mode != ZeroDelay {
+		if delays, err = gateDelaySeconds(order, fanout, prm); err != nil {
+			return nil, err
+		}
+		if s.tick, err = resolveTick(prm, delays); err != nil {
+			return nil, err
+		}
+	}
+	for gi, g := range order {
 		gr, err := g.Cell.Graph()
 		if err != nil {
 			return nil, fmt.Errorf("sim: instance %s: %w", g.Name, err)
@@ -311,6 +463,7 @@ func newSimulator(c *circuit.Circuit, prm Params) (*simulator, error) {
 			inst:     g,
 			graph:    gr,
 			eval:     gr.NewEvaluator(),
+			idx:      gi,
 			nodes:    make([]bool, gr.NumNodes),
 			scratch:  make([]bool, gr.NumNodes),
 			internal: gr.InternalNodes(),
@@ -320,15 +473,8 @@ func newSimulator(c *circuit.Circuit, prm Params) (*simulator, error) {
 		for _, nk := range st.internal {
 			st.caps[nk] = prm.Cap.Cj * float64(gr.Degree(nk))
 		}
-		switch prm.Mode {
-		case UnitDelay:
-			st.delay = prm.Unit
-		case ElmoreDelay:
-			d, err := delay.PinDelays(g.Cell, prm.Cap.OutputLoad(fanout[g.Out]), prm.Delay)
-			if err != nil {
-				return nil, fmt.Errorf("sim: instance %s: %w", g.Name, err)
-			}
-			st.pinDelays = d
+		if prm.Mode != ZeroDelay {
+			st.delayTicks = quantizeDelay(delays[gi], s.tick)
 		}
 		s.insts = append(s.insts, st)
 		for _, p := range g.Pins {
@@ -408,48 +554,99 @@ func (s *simulator) pop() event {
 	return top
 }
 
-func (s *simulator) run(horizon float64) {
-	if s.prm.Mode == ZeroDelay {
-		s.runZero(horizon)
-		return
-	}
+// runTimed is the unit/Elmore-delay loop on the discrete tick grid, with
+// instant-atomic delta-cycle semantics: all events sharing a tick are
+// drained first — primary-input edges apply immediately, scheduled gate
+// updates raise a fire flag — then the affected cone is swept once in
+// topological order. Per gate the sweep (a) re-evaluates the transistor
+// network if any fan-in changed this instant, metering internal-node
+// flips and scheduling an output update delayTicks later when the
+// computed output differs from the net, and (b) applies a pending output
+// update by *sampling* the gate's current computed output: a pulse that
+// collapsed before its update fires changes nothing and is filtered, the
+// inertial behaviour of a real gate. Because every per-instant effect
+// flows strictly forward in topological order, the settled result of an
+// instant is independent of event arrival order — the property that lets
+// the timed bit-parallel engine (timed.go) reproduce this loop word by
+// word, which the timed lane-equivalence test pins down.
+// Input events beyond the horizon were dropped at quantization; gate
+// updates they triggered drain to completion (the response to admitted
+// stimulus is metered fully, so results are invariant under the rigid
+// cluster shifts the timed packer applies).
+func (s *simulator) runTimed() {
 	for len(s.queue) > 0 {
-		e := s.pop()
-		if e.time > horizon {
-			break
+		t := s.queue[0].time
+		// Phase 1: drain every event at this tick.
+		mark := func(st *instState) {
+			if !st.dirty && !st.fireNow {
+				s.agenda = heapPush(s.agenda, int32(st.idx))
+			}
 		}
-		s.events++
-		if e.inst == nil {
+		for len(s.queue) > 0 && s.queue[0].time == t {
+			e := s.pop()
+			s.events++
+			if e.inst != nil {
+				mark(e.inst)
+				e.inst.fireNow = true
+				continue
+			}
 			if s.values[e.net] == e.val {
 				continue
 			}
 			s.values[e.net] = e.val
 			s.netTrans[e.net]++
 			if s.observe != nil {
-				s.observe(e.time, e.net, e.val)
+				s.observe(t*s.tick, e.net, e.val)
 			}
 			for _, st := range s.readers[e.net] {
-				s.reevaluate(st, e.time)
+				mark(st)
+				st.dirty = true
 			}
-			continue
 		}
-		// Gate output update: recompute from current inputs (transport
-		// delay with sampling — pulses shorter than the gate delay that
-		// have already collapsed are filtered, as in an inertial model).
-		st := e.inst
-		y := st.nodes[gate.Y]
-		if s.values[st.inst.Out] == y {
-			continue
-		}
-		s.values[st.inst.Out] = y
-		s.netTrans[st.inst.Out]++
-		s.outputFlips++
-		if s.observe != nil {
-			s.observe(e.time, st.inst.Out, y)
-		}
-		st.energy += s.halfCV2 * st.outCap
-		for _, rd := range s.readers[st.inst.Out] {
-			s.reevaluate(rd, e.time)
+		// Phase 2: sweep the marked cone in topological order — the
+		// agenda heap pops instance indices in increasing order, and
+		// marks only ever target later instances, so one drain settles
+		// the instant.
+		for len(s.agenda) > 0 {
+			var gi int32
+			gi, s.agenda = heapPop(s.agenda)
+			st := s.insts[gi]
+			if st.dirty {
+				st.dirty = false
+				s.events++
+				m := s.minterm(st)
+				next := st.eval.StateAt(m, st.nodes, st.scratch)
+				for _, nk := range st.internal {
+					if next[nk] != st.nodes[nk] {
+						s.internalFlips++
+						st.energy += s.halfCV2 * st.caps[nk]
+					}
+				}
+				prevY := st.nodes[gate.Y]
+				st.nodes, st.scratch = next, st.nodes
+				y := st.nodes[gate.Y]
+				if y != prevY || y != s.values[st.inst.Out] {
+					s.push(event{time: t + float64(st.delayTicks), inst: st})
+				}
+			}
+			if st.fireNow {
+				st.fireNow = false
+				y := st.nodes[gate.Y]
+				if y == s.values[st.inst.Out] {
+					continue // pulse collapsed before the update fired
+				}
+				s.values[st.inst.Out] = y
+				s.netTrans[st.inst.Out]++
+				s.outputFlips++
+				if s.observe != nil {
+					s.observe(t*s.tick, st.inst.Out, y)
+				}
+				st.energy += s.halfCV2 * st.outCap
+				for _, rd := range s.readers[st.inst.Out] {
+					mark(rd)
+					rd.dirty = true
+				}
+			}
 		}
 	}
 }
@@ -490,6 +687,49 @@ func (s *simulator) runZero(horizon float64) {
 	}
 }
 
+// heapPush inserts v into the slice-backed binary min-heap h and returns
+// the grown heap. Shared by runTimed's instance agenda and the timed
+// bit-parallel engine's active-tick heap.
+func heapPush[T cmp.Ordered](h []T, v T) []T {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// heapPop removes the minimum element of h, returning it and the shrunk
+// heap.
+func heapPop[T cmp.Ordered](h []T) (T, []T) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h[l] < h[least] {
+			least = l
+		}
+		if r < n && h[r] < h[least] {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top, h
+}
+
 // settleDirty re-evaluates every gate whose fan-in changed, in topological
 // order, metering internal and output transitions. A gate's output change
 // marks its readers dirty; readers appear later in the order, so a single
@@ -525,37 +765,6 @@ func (s *simulator) settleDirty(t float64) {
 			rd.dirty = true
 		}
 	}
-}
-
-// reevaluate recomputes a gate's internal nodes after one of its inputs
-// changed, meters internal transitions immediately, and schedules the
-// output net update after the gate delay.
-func (s *simulator) reevaluate(st *instState, now float64) {
-	m := s.minterm(st)
-	next := st.eval.StateAt(m, st.nodes, st.scratch)
-	for _, nk := range st.internal {
-		if next[nk] != st.nodes[nk] {
-			s.internalFlips++
-			st.energy += s.halfCV2 * st.caps[nk]
-		}
-	}
-	prevY := st.nodes[gate.Y]
-	st.nodes, st.scratch = next, st.nodes
-	if st.nodes[gate.Y] == prevY && st.nodes[gate.Y] == s.values[st.inst.Out] {
-		return
-	}
-	d := st.delay
-	if s.prm.Mode == ElmoreDelay {
-		// The triggering pin is unknown here (several may have changed in
-		// one instant); use the slowest pin as the conservative delay.
-		d = 0
-		for _, pd := range st.pinDelays {
-			if pd > d {
-				d = pd
-			}
-		}
-	}
-	s.push(event{time: now + d, inst: st})
 }
 
 func (s *simulator) result(horizon float64) *Result {

@@ -42,27 +42,13 @@ func RunTrace(c *circuit.Circuit, waves map[string]*stoch.Waveform, horizon floa
 	s.observe = func(time float64, net string, val bool) {
 		tr.Changes = append(tr.Changes, stoch.TaggedEvent{Time: time, Input: idx[net], Value: val})
 	}
-	init := map[string]bool{}
-	for _, in := range c.Inputs {
-		w, ok := waves[in]
-		if !ok {
-			return nil, nil, fmt.Errorf("sim: no waveform for input %q", in)
-		}
-		init[in] = w.Initial
+	if err := s.init(waves); err != nil {
+		return nil, nil, err
 	}
-	s.settle(init)
 	for _, n := range tr.Nets {
 		tr.Initial[n] = s.values[n]
 	}
-	for _, in := range c.Inputs {
-		for _, e := range waves[in].Events {
-			if e.Time > horizon {
-				break
-			}
-			s.push(event{time: e.Time, net: in, val: e.Value})
-		}
-	}
-	s.run(horizon)
+	s.drive(waves, horizon)
 	return s.result(horizon), tr, nil
 }
 

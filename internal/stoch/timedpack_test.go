@@ -1,0 +1,237 @@
+package stoch
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeWaveform(t *testing.T) {
+	const tick = 1e-9
+	w := &Waveform{Initial: false, Events: []Event{
+		{Time: 1.4e-9, Value: true},  // → tick 1
+		{Time: 1.6e-9, Value: false}, // → tick 2... but see below
+		{Time: 2.4e-9, Value: true},  // → tick 2: collapses with previous, last value wins
+		{Time: 5.0e-9, Value: true},  // no-op: value already true
+		{Time: 8.6e-9, Value: false}, // → tick 9
+		{Time: 12e-9, Value: true},   // beyond horizon (10 ticks): dropped
+	}}
+	got := QuantizeWaveform(w, tick, 10)
+	want := []TickEvent{{1, true}, {9, false}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Ticks strictly increase and every event changes the value.
+	val := w.Initial
+	last := int64(-1)
+	for _, te := range got {
+		if te.Tick <= last {
+			t.Fatalf("non-increasing tick %d", te.Tick)
+		}
+		if te.Value == val {
+			t.Fatalf("no-op event survived at tick %d", te.Tick)
+		}
+		last, val = te.Tick, te.Value
+	}
+}
+
+func TestQuantizeWaveformCollapseToNoOp(t *testing.T) {
+	// Two sub-tick pulses collapse onto one tick and cancel entirely.
+	const tick = 1e-9
+	w := &Waveform{Initial: true, Events: []Event{
+		{Time: 3.1e-9, Value: false},
+		{Time: 3.3e-9, Value: true},
+	}}
+	if got := QuantizeWaveform(w, tick, 100); len(got) != 0 {
+		t.Fatalf("collapsed pulse survived: %v", got)
+	}
+}
+
+func TestPackTimedWaveformsTogglesMatchValueAt(t *testing.T) {
+	// Reconstructing each lane from Initial + toggles must reproduce the
+	// quantized waveform's final value and transition count.
+	rng := rand.New(rand.NewSource(12))
+	sig := Signal{P: 0.4, D: 3e5}
+	const horizon = 1e-4
+	const tick = 1e-9
+	lanes := make([]map[string]*Waveform, 7)
+	for l := range lanes {
+		w, err := sig.Exponential(horizon, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanes[l] = map[string]*Waveform{"x": w}
+	}
+	ts, err := PackTimedWaveforms([]string{"x"}, lanes, horizon, tick, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for l, waves := range lanes {
+		w := waves["x"]
+		q := QuantizeWaveform(w, tick, ts.HorizonTicks)
+		val := ts.Initial[0]>>l&1 == 1
+		if val != w.Initial {
+			t.Fatalf("lane %d initial mismatch", l)
+		}
+		trans := 0
+		qi := 0
+		for k := range ts.Ticks {
+			for _, tog := range ts.Toggles[k] {
+				if tog.Input != 0 || tog.Lanes>>l&1 == 0 {
+					continue
+				}
+				val = !val
+				trans++
+				if qi >= len(q) || q[qi].Tick != ts.Ticks[k] || q[qi].Value != val {
+					t.Fatalf("lane %d: toggle at tick %d diverges from quantized waveform", l, ts.Ticks[k])
+				}
+				qi++
+			}
+		}
+		if trans != len(q) {
+			t.Fatalf("lane %d: %d toggles, quantized waveform has %d transitions", l, trans, len(q))
+		}
+	}
+}
+
+func TestPackTimedWaveformsErrors(t *testing.T) {
+	w := map[string]*Waveform{"a": {}}
+	if _, err := PackTimedWaveforms([]string{"a"}, nil, 1, 1e-9, 0); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	many := make([]map[string]*Waveform, MaxLanes+1)
+	for i := range many {
+		many[i] = w
+	}
+	if _, err := PackTimedWaveforms([]string{"a"}, many, 1, 1e-9, 0); err == nil {
+		t.Error("65 lanes accepted")
+	}
+	if _, err := PackTimedWaveforms([]string{"a"}, []map[string]*Waveform{{}}, 1, 1e-9, 0); err == nil {
+		t.Error("missing waveform accepted")
+	}
+	if _, err := PackTimedWaveforms([]string{"a"}, []map[string]*Waveform{w}, 0, 1e-9, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := PackTimedWaveforms([]string{"a"}, []map[string]*Waveform{w}, 1, 0, 0); err == nil {
+		t.Error("zero tick accepted")
+	}
+}
+
+// --- PackWaveforms (zero-delay packing) edge cases ---
+
+func TestPackWaveformsSimultaneousAtHorizonBoundary(t *testing.T) {
+	// Both lanes fire events at exactly t == horizon (kept: only events
+	// strictly beyond the horizon drop) and one of them pairs the
+	// boundary event with a second input switching at the same instant —
+	// the step must stay grouped.
+	const horizon = 2.0
+	lanes := []map[string]*Waveform{
+		{
+			"a": {Initial: false, Events: []Event{{Time: horizon, Value: true}}},
+			"b": {Initial: false, Events: []Event{{Time: horizon, Value: true}}},
+		},
+		{
+			"a": {Initial: false, Events: []Event{{Time: horizon, Value: true}}},
+			"b": {Initial: true},
+		},
+	}
+	ps, err := PackWaveforms([]string{"a", "b"}, lanes, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Steps != 1 {
+		t.Fatalf("steps = %d, want 1 (boundary events grouped per lane)", ps.Steps)
+	}
+	if ps.Bits[0][0]&0b11 != 0b11 {
+		t.Errorf("a not set in both lanes at the boundary step: %b", ps.Bits[0][0])
+	}
+	if ps.Bits[1][0]&0b01 != 0b01 {
+		t.Errorf("lane 0 lost b's boundary event: %b", ps.Bits[1][0])
+	}
+	// Just beyond the horizon, the same events must vanish.
+	late := []map[string]*Waveform{{
+		"a": {Initial: false, Events: []Event{{Time: horizon * (1 + 1e-9), Value: true}}},
+		"b": {Initial: false},
+	}}
+	ps2, err := PackWaveforms([]string{"a", "b"}, late, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.Steps != 0 {
+		t.Fatalf("event beyond the horizon produced %d steps", ps2.Steps)
+	}
+}
+
+func TestPackWaveformsEmptyWaveformLane(t *testing.T) {
+	// Lane 1 has no events at all: it must hold its initial values across
+	// every step the busier lane creates.
+	lanes := []map[string]*Waveform{
+		{
+			"a": {Initial: false, Events: []Event{
+				{Time: 1, Value: true}, {Time: 2, Value: false}, {Time: 3, Value: true},
+			}},
+			"b": {Initial: false},
+		},
+		{
+			"a": {Initial: true},
+			"b": {Initial: true},
+		},
+	}
+	ps, err := PackWaveforms([]string{"a", "b"}, lanes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", ps.Steps)
+	}
+	for s := 0; s < ps.Steps; s++ {
+		if ps.Bits[0][s]>>1&1 != 1 || ps.Bits[1][s]>>1&1 != 1 {
+			t.Fatalf("empty lane drifted from its initial state at step %d", s)
+		}
+	}
+}
+
+func TestPackWaveformsLaneCapacity(t *testing.T) {
+	// Exactly MaxLanes is accepted; one more is rejected.
+	mk := func(n int) []map[string]*Waveform {
+		lanes := make([]map[string]*Waveform, n)
+		for i := range lanes {
+			lanes[i] = map[string]*Waveform{"a": {Initial: i%2 == 0}}
+		}
+		return lanes
+	}
+	ps, err := PackWaveforms([]string{"a"}, mk(MaxLanes), 1)
+	if err != nil {
+		t.Fatalf("%d lanes rejected: %v", MaxLanes, err)
+	}
+	if ps.Lanes != MaxLanes || ps.LaneMask() != ^uint64(0) {
+		t.Fatalf("lanes=%d mask=%#x", ps.Lanes, ps.LaneMask())
+	}
+	if _, err := PackWaveforms([]string{"a"}, mk(MaxLanes+1), 1); err == nil {
+		t.Fatalf("%d lanes accepted", MaxLanes+1)
+	}
+}
+
+func TestLaneMaskPopcountMatchesLanes(t *testing.T) {
+	// The mask must select exactly the active lanes for every lane count,
+	// in both stimulus formats — the invariant the engines' metering
+	// relies on.
+	for n := 1; n <= MaxLanes; n++ {
+		ps := &PackedStimulus{Lanes: n}
+		if got := bits.OnesCount64(ps.LaneMask()); got != n {
+			t.Fatalf("PackedStimulus.LaneMask(%d) selects %d lanes", n, got)
+		}
+		ts := &TimedStimulus{Lanes: n}
+		if got := bits.OnesCount64(ts.LaneMask()); got != n {
+			t.Fatalf("TimedStimulus.LaneMask(%d) selects %d lanes", n, got)
+		}
+	}
+}

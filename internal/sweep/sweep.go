@@ -21,10 +21,13 @@
 //     return value keeps the deterministic job order for the aggregate
 //     table.
 //
-// The simulated S column follows Options.Expt.Sim: zero-delay jobs run on
-// the compiled bit-parallel engine (Options.Expt.SimVectors Monte Carlo
-// lanes per word — see internal/sim's Compile/RunPacked), unit- and
-// Elmore-delay jobs on the event-driven reference engine.
+// The simulated S column follows Options.Expt.Sim: with the default
+// bit-parallel engine, zero-delay jobs run on the levelized compiled
+// program (internal/sim's Compile/RunPacked) and unit-/Elmore-delay jobs
+// on the timed compiled program (CompileTimed, a word-level timing
+// wheel), each measuring Options.Expt.SimVectors Monte Carlo lanes per
+// word; Expt.Sim.Engine == sim.EventDriven falls back to one event-driven
+// realization per job.
 package sweep
 
 import (
