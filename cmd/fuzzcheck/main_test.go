@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/library"
+	"repro/internal/netlist"
+)
+
+func TestCheckOptions(t *testing.T) {
+	opts, err := checkOptions("engines,optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Engines || opts.Incremental || !opts.Optimize {
+		t.Fatalf("wrong selection: %+v", opts)
+	}
+	if _, err := checkOptions("frobnicate"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	if _, err := checkOptions(""); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestReplayCorpusRoundTrip(t *testing.T) {
+	// A corpus whose artifacts are healthy circuits replays clean; a
+	// corrupt line errors.
+	c, err := gen.Generate(gen.DefaultProfile(), 11, library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gnl strings.Builder
+	if err := netlist.WriteGNL(&gnl, c); err != nil {
+		t.Fatal(err)
+	}
+	a := gen.Artifact{Profile: "balanced", Seed: 11, Check: "synthetic", GNL: gnl.String()}
+	line, err := a.MarshalJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.jsonl")
+	if err := os.WriteFile(path, append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := checkOptions("incremental")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replayCorpus(path, opts); err != nil {
+		t.Fatalf("healthy corpus reported failure: %v", err)
+	}
+	if err := os.WriteFile(path, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayCorpus(path, opts); err == nil {
+		t.Fatal("corrupt corpus accepted")
+	}
+}

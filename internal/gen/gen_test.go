@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/library"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	lib := library.Default()
+	for _, p := range Profiles() {
+		for seed := int64(0); seed < 5; seed++ {
+			a, err := Generate(p, seed, lib)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", p.Name, seed, err)
+			}
+			b, err := Generate(p, seed, lib)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", p.Name, seed, err)
+			}
+			if gnlOf(a) != gnlOf(b) {
+				t.Fatalf("%s/%d: two generations differ", p.Name, seed)
+			}
+		}
+	}
+}
+
+func TestGenerateValidAndInProfile(t *testing.T) {
+	lib := library.Default()
+	for _, p := range Profiles() {
+		sawNonCanonical := false
+		sawTap := false
+		for seed := int64(0); seed < 40; seed++ {
+			c, err := Generate(p, seed, lib)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", p.Name, seed, err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s/%d: invalid: %v", p.Name, seed, err)
+			}
+			if n := len(c.Inputs); n < p.MinInputs || n > p.MaxInputs {
+				t.Fatalf("%s/%d: %d inputs outside [%d,%d]", p.Name, seed, n, p.MinInputs, p.MaxInputs)
+			}
+			if n := len(c.Gates); n < p.MinGates || n > p.MaxGates {
+				t.Fatalf("%s/%d: %d gates outside [%d,%d]", p.Name, seed, n, p.MinGates, p.MaxGates)
+			}
+			read := map[string]bool{}
+			for _, g := range c.Gates {
+				cell, ok := lib.Cell(g.Cell.Name)
+				if !ok {
+					t.Fatalf("%s/%d: gate %s uses unknown cell %s", p.Name, seed, g.Name, g.Cell.Name)
+				}
+				if g.Cell != cell.Proto {
+					sawNonCanonical = true
+				}
+				for _, pin := range g.Pins {
+					read[pin] = true
+				}
+			}
+			for _, o := range c.Outputs {
+				if read[o] {
+					sawTap = true
+				}
+			}
+			pi := InputStats(c, p, seed)
+			for in, s := range pi {
+				if s.P < p.PLow || s.P > p.PHigh || s.D < p.DLow || s.D > p.DHigh {
+					t.Fatalf("%s/%d: input %s stats %v outside profile ranges", p.Name, seed, in, s)
+				}
+			}
+		}
+		if p.ConfigProb > 0 && !sawNonCanonical {
+			t.Errorf("%s: 40 circuits produced no non-canonical configuration", p.Name)
+		}
+		if p.TapProb >= 0.2 && !sawTap {
+			t.Errorf("%s: 40 circuits produced no tapped internal output", p.Name)
+		}
+	}
+}
+
+func TestDeriveSeedSeparatesStreams(t *testing.T) {
+	seen := map[int64]string{}
+	cases := []struct {
+		labels []string
+	}{
+		{[]string{"topology"}},
+		{[]string{"configs"}},
+		{[]string{"stats"}},
+		{[]string{"waves"}},
+		{[]string{"equiv", "full-min"}},
+		{[]string{"equiv", "full-max"}},
+	}
+	for _, c := range cases {
+		s := DeriveSeed(42, c.labels...)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("labels %v collide with %s", c.labels, prev)
+		}
+		seen[s] = c.labels[0]
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Fatal("base seed ignored")
+	}
+	if DeriveSeed(1, "x") != DeriveSeed(1, "x") {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := DefaultProfile()
+	bad.MaxGates = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("gate range 5..0 accepted")
+	}
+	bad = DefaultProfile()
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unnamed profile accepted")
+	}
+	bad = DefaultProfile()
+	bad.DepthBias = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bias 1.5 accepted")
+	}
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("standard profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles() {
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("ProfileByName(%s) = %v %v", p.Name, got.Name, ok)
+		}
+	}
+	if _, ok := ProfileByName("no-such-profile"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package gen
+
+// raceEnabled scales the differential sweep down under the race detector
+// (~6× slower): CI's -race pass checks the harness itself for races,
+// while the full ≥200-circuit sweep runs in the plain pass.
+const raceEnabled = true

@@ -1,0 +1,164 @@
+// Shrink-on-failure: greedy structural minimization of a failing circuit.
+// Each reduction step — dropping an output, bypassing a gate with one of
+// its own fan-in nets, deleting dead gates and unused inputs — is kept
+// only while the *same* check still fails, so the emitted artifact is a
+// minimal (locally irreducible) witness with its replay seed attached.
+package gen
+
+import (
+	"repro/internal/circuit"
+)
+
+// sameFailure reports whether the reduced circuit still fails the same
+// sub-check (the Check label, not the detail — shrinking may move the
+// witness within a check).
+func sameFailure(c *circuit.Circuit, p Profile, seed int64, opts CheckOptions, want string, fn CheckFunc) *Discrepancy {
+	d := fn(c, p, seed, opts)
+	if d != nil && d.Check == want {
+		return d
+	}
+	return nil
+}
+
+// pruneDead removes gates whose output is neither read nor a primary
+// output, repeatedly, and drops primary inputs no gate reads and no
+// output exposes. It never changes observable behaviour.
+func pruneDead(c *circuit.Circuit) {
+	outs := map[string]bool{}
+	for _, o := range c.Outputs {
+		outs[o] = true
+	}
+	for {
+		read := map[string]bool{}
+		for _, g := range c.Gates {
+			for _, p := range g.Pins {
+				read[p] = true
+			}
+		}
+		kept := c.Gates[:0]
+		removed := false
+		for _, g := range c.Gates {
+			if read[g.Out] || outs[g.Out] {
+				kept = append(kept, g)
+			} else {
+				removed = true
+			}
+		}
+		c.Gates = kept
+		if !removed {
+			break
+		}
+	}
+	read := map[string]bool{}
+	for _, g := range c.Gates {
+		for _, p := range g.Pins {
+			read[p] = true
+		}
+	}
+	ins := c.Inputs[:0]
+	for _, in := range c.Inputs {
+		if read[in] || outs[in] {
+			ins = append(ins, in)
+		}
+	}
+	c.Inputs = ins
+}
+
+// bypass removes gate gi, rewiring every reader of its output (and any
+// primary output it drives) to the gate's first fan-in net. The result
+// may be invalid (duplicate pins are fine, duplicate outputs are not);
+// the caller validates.
+func bypass(c *circuit.Circuit, gi int) *circuit.Circuit {
+	out := c.Clone()
+	g := out.Gates[gi]
+	repl := g.Pins[0]
+	seen := map[string]bool{}
+	for i, o := range out.Outputs {
+		if o == g.Out {
+			out.Outputs[i] = repl
+		}
+		if seen[out.Outputs[i]] {
+			return nil // would duplicate an output name
+		}
+		seen[out.Outputs[i]] = true
+	}
+	out.Gates = append(out.Gates[:gi], out.Gates[gi+1:]...)
+	for _, h := range out.Gates {
+		for i, p := range h.Pins {
+			if p == g.Out {
+				h.Pins[i] = repl
+			}
+		}
+	}
+	pruneDead(out)
+	if len(out.Gates) == 0 || len(out.Outputs) == 0 {
+		return nil
+	}
+	return out
+}
+
+// dropOutput removes one primary output (when more than one remains) and
+// prunes the cone that fed only it.
+func dropOutput(c *circuit.Circuit, oi int) *circuit.Circuit {
+	if len(c.Outputs) <= 1 {
+		return nil
+	}
+	out := c.Clone()
+	out.Outputs = append(out.Outputs[:oi], out.Outputs[oi+1:]...)
+	pruneDead(out)
+	if len(out.Gates) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Shrink greedily minimizes a circuit that fails a check, holding the
+// failing sub-check fixed. It returns the smallest reproduction found and
+// its discrepancy (which carries the reduced GNL). The budget bounds the
+// total number of candidate re-checks.
+func Shrink(c *circuit.Circuit, d *Discrepancy, p Profile, seed int64, opts CheckOptions, budget int) (*circuit.Circuit, *Discrepancy) {
+	return shrinkWith(c, d, p, seed, opts, budget, func(c *circuit.Circuit, p Profile, seed int64, co CheckOptions) *Discrepancy {
+		return Check(c, p, seed, co)
+	})
+}
+
+// shrinkWith is Shrink with an injectable check (tests exercise the
+// reducer against synthetic failure predicates).
+func shrinkWith(c *circuit.Circuit, d *Discrepancy, p Profile, seed int64, opts CheckOptions, budget int, fn CheckFunc) (*circuit.Circuit, *Discrepancy) {
+	if budget <= 0 {
+		budget = 400
+	}
+	cur, curD := c, d
+	attempts := 0
+	for {
+		improved := false
+		// Outputs first: dropping one often removes a whole cone.
+		for oi := 0; oi < len(cur.Outputs) && attempts < budget; oi++ {
+			cand := dropOutput(cur, oi)
+			if cand == nil || cand.Validate() != nil {
+				continue
+			}
+			attempts++
+			if nd := sameFailure(cand, p, seed, opts, d.Check, fn); nd != nil {
+				cur, curD = cand, nd
+				improved = true
+				oi = -1 // restart over the reduced output list
+			}
+		}
+		for gi := 0; gi < len(cur.Gates) && attempts < budget; gi++ {
+			cand := bypass(cur, gi)
+			if cand == nil || cand.Validate() != nil {
+				continue
+			}
+			attempts++
+			if nd := sameFailure(cand, p, seed, opts, d.Check, fn); nd != nil {
+				cur, curD = cand, nd
+				improved = true
+				gi = -1 // restart from the front of the smaller circuit
+			}
+		}
+		if !improved || attempts >= budget {
+			return cur, curD
+		}
+	}
+}

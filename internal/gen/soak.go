@@ -1,0 +1,173 @@
+// The soak runner: a bounded or time-budgeted differential sweep over
+// generated circuits on a worker pool. Job i is a pure function of
+// (BaseSeed, profile, i) — workers only decide *who* runs a job, never
+// *what* it contains — so the set of failures found for a given circuit
+// budget is identical for any worker count (pinned by TestSoakDeterministicAcrossWorkers).
+package gen
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+)
+
+// CheckFunc is the per-circuit check a soak run applies. Production runs
+// use Check; tests inject deterministic stand-ins.
+type CheckFunc func(c *circuit.Circuit, p Profile, seed int64, opts CheckOptions) *Discrepancy
+
+// SoakOptions configures a soak run.
+type SoakOptions struct {
+	Profiles     []Profile // round-robin per job; empty: Profiles()
+	Workers      int       // 0: GOMAXPROCS
+	Circuits     int       // total circuits; 0: unbounded (Duration must be set)
+	Duration     time.Duration
+	BaseSeed     int64
+	Check        CheckOptions
+	Shrink       bool // minimize failures before reporting
+	ShrinkBudget int
+
+	// OnResult, when set, observes every completed job in completion
+	// order (not job order) — used for progress reporting.
+	OnResult func(job int, failed bool)
+
+	// OnFailure, when set, receives every failure artifact the moment it
+	// is found (post-shrink), so long soaks can stream a corpus to disk
+	// instead of losing everything on a crash. Called from worker
+	// goroutines, serialized by the runner.
+	OnFailure func(Artifact)
+
+	// checkFn overrides the differential check (tests only; nil: Check).
+	checkFn CheckFunc
+}
+
+// SoakStats summarizes a soak run.
+type SoakStats struct {
+	Circuits   int
+	Failures   int
+	PerProfile map[string]int // circuits per profile
+	Elapsed    time.Duration
+}
+
+// Soak runs the differential sweep. It returns the statistics and every
+// failure artifact, sorted by job index (deterministic for a fixed
+// circuit budget regardless of Workers). Generation errors are
+// infrastructure failures and abort the run.
+func Soak(ctx context.Context, opts SoakOptions) (*SoakStats, []Artifact, error) {
+	profiles := opts.Profiles
+	if len(profiles) == 0 {
+		profiles = Profiles()
+	}
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return nil, nil, err
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Circuits <= 0 && opts.Duration <= 0 {
+		return nil, nil, fmt.Errorf("gen: soak needs a circuit budget or a duration")
+	}
+	checkFn := opts.checkFn
+	if checkFn == nil {
+		checkFn = func(c *circuit.Circuit, p Profile, seed int64, co CheckOptions) *Discrepancy {
+			return Check(c, p, seed, co)
+		}
+	}
+	if opts.Duration > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, opts.Duration)
+		defer tcancel()
+	}
+	// A generation error must stop sibling workers too, not just the one
+	// that hit it — otherwise they burn the whole remaining budget on
+	// results the error return then discards.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	var next atomic.Int64
+	type jobResult struct {
+		job      int
+		profile  string
+		artifact *Artifact
+	}
+	var (
+		mu      sync.Mutex
+		results []jobResult
+		runErr  error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lib := opts.Check.lib()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				job := int(next.Add(1) - 1)
+				if opts.Circuits > 0 && job >= opts.Circuits {
+					return
+				}
+				p := profiles[job%len(profiles)]
+				seed := DeriveSeed(opts.BaseSeed, "soak", p.Name, fmt.Sprint(job))
+				c, err := Generate(p, seed, lib)
+				if err != nil {
+					mu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				d := checkFn(c, p, seed, opts.Check)
+				var art *Artifact
+				if d != nil {
+					// Shrinking re-checks up to ShrinkBudget candidates;
+					// skip it when the run is already cancelled so a
+					// deadline or Ctrl-C is overrun by at most one check.
+					if opts.Shrink && ctx.Err() == nil {
+						_, d = Shrink(c, d, p, seed, opts.Check, opts.ShrinkBudget)
+					}
+					a := d.Artifact()
+					art = &a
+				}
+				mu.Lock()
+				results = append(results, jobResult{job, p.Name, art})
+				if art != nil && opts.OnFailure != nil {
+					opts.OnFailure(*art)
+				}
+				mu.Unlock()
+				if opts.OnResult != nil {
+					opts.OnResult(job, art != nil)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].job < results[j].job })
+	stats := &SoakStats{PerProfile: map[string]int{}, Elapsed: time.Since(start)}
+	var failures []Artifact
+	for _, r := range results {
+		stats.Circuits++
+		stats.PerProfile[r.profile]++
+		if r.artifact != nil {
+			stats.Failures++
+			failures = append(failures, *r.artifact)
+		}
+	}
+	return stats, failures, nil
+}

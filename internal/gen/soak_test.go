@@ -1,0 +1,197 @@
+package gen
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/library"
+)
+
+// TestSoakDeterministicAcrossWorkers is the seed-threading satellite: a
+// soak run's failure set must be a pure function of (BaseSeed, budget),
+// independent of worker count — every job derives its own FNV seed, so
+// workers only decide who runs a job, never what it contains. The
+// injected check fails deterministically on a subset of seeds.
+func TestSoakDeterministicAcrossWorkers(t *testing.T) {
+	fakeCheck := func(c *circuit.Circuit, p Profile, seed int64, opts CheckOptions) *Discrepancy {
+		if uint64(seed)%4 != 0 {
+			return nil
+		}
+		return &Discrepancy{
+			Check:   "synthetic",
+			Detail:  fmt.Sprintf("seed %d", seed),
+			Profile: p.Name,
+			Seed:    seed,
+			GNL:     gnlOf(c),
+		}
+	}
+	const circuits = 48
+	var want *SoakStats
+	var wantFails []Artifact
+	for _, workers := range []int{1, 3, 8} {
+		stats, fails, err := Soak(context.Background(), SoakOptions{
+			Workers:  workers,
+			Circuits: circuits,
+			BaseSeed: 99,
+			checkFn:  fakeCheck,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if stats.Circuits != circuits {
+			t.Fatalf("workers=%d: ran %d circuits, want %d", workers, stats.Circuits, circuits)
+		}
+		if want == nil {
+			want, wantFails = stats, fails
+			if stats.Failures == 0 {
+				t.Fatal("synthetic predicate produced no failures; test is vacuous")
+			}
+			continue
+		}
+		if stats.Failures != want.Failures || !reflect.DeepEqual(stats.PerProfile, want.PerProfile) {
+			t.Fatalf("workers=%d: stats %+v differ from workers=1 %+v", workers, stats, want)
+		}
+		if !reflect.DeepEqual(fails, wantFails) {
+			t.Fatalf("workers=%d: failure artifacts differ from workers=1", workers)
+		}
+	}
+}
+
+// TestSoakStreamsFailures: OnFailure must deliver exactly the artifacts
+// the run returns, as they are found (cmd/fuzzcheck streams them to disk
+// so a killed soak loses nothing).
+func TestSoakStreamsFailures(t *testing.T) {
+	fakeCheck := func(c *circuit.Circuit, p Profile, seed int64, opts CheckOptions) *Discrepancy {
+		if uint64(seed)%3 != 0 {
+			return nil
+		}
+		return &Discrepancy{Check: "synthetic", Profile: p.Name, Seed: seed}
+	}
+	var streamed []Artifact
+	stats, fails, err := Soak(context.Background(), SoakOptions{
+		Workers:   5,
+		Circuits:  30,
+		BaseSeed:  7,
+		checkFn:   fakeCheck,
+		OnFailure: func(a Artifact) { streamed = append(streamed, a) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failures == 0 {
+		t.Fatal("no failures; test is vacuous")
+	}
+	if len(streamed) != len(fails) {
+		t.Fatalf("streamed %d artifacts, returned %d", len(streamed), len(fails))
+	}
+	bySeed := map[int64]Artifact{}
+	for _, a := range streamed {
+		bySeed[a.Seed] = a
+	}
+	for _, a := range fails {
+		if got, ok := bySeed[a.Seed]; !ok || got != a {
+			t.Fatalf("artifact seed %d missing or different in stream", a.Seed)
+		}
+	}
+}
+
+// TestSoakRealCheck runs a handful of real differential checks through
+// the pool — the cmd/fuzzcheck path end to end.
+func TestSoakRealCheck(t *testing.T) {
+	stats, fails, err := Soak(context.Background(), SoakOptions{
+		Workers:  4,
+		Circuits: 6,
+		BaseSeed: 20260730,
+		Check:    DefaultCheckOptions(),
+		Shrink:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Circuits != 6 {
+		t.Fatalf("ran %d circuits, want 6", stats.Circuits)
+	}
+	for _, a := range fails {
+		line, _ := a.MarshalJSONL()
+		t.Errorf("differential failure: %s", line)
+	}
+}
+
+func TestSoakNeedsBudget(t *testing.T) {
+	if _, _, err := Soak(context.Background(), SoakOptions{}); err == nil {
+		t.Fatal("budgetless soak accepted")
+	}
+}
+
+// TestSoakDurationBudget: a duration-only run terminates and reports
+// whatever it finished.
+func TestSoakDurationBudget(t *testing.T) {
+	stats, _, err := Soak(context.Background(), SoakOptions{
+		Workers:  2,
+		Duration: 150 * time.Millisecond,
+		BaseSeed: 3,
+		checkFn: func(c *circuit.Circuit, p Profile, seed int64, opts CheckOptions) *Discrepancy {
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Circuits == 0 {
+		t.Fatal("duration budget ran no circuits")
+	}
+}
+
+// TestShrinkReducesWitness drives the reducer with a synthetic predicate
+// ("fails while the circuit still contains a nor2") and expects a
+// dramatically smaller reproduction that still triggers it.
+func TestShrinkReducesWitness(t *testing.T) {
+	hasCell := func(c *circuit.Circuit, cell string) bool {
+		for _, g := range c.Gates {
+			if g.Cell.Name == cell {
+				return true
+			}
+		}
+		return false
+	}
+	fakeCheck := func(c *circuit.Circuit, p Profile, seed int64, opts CheckOptions) *Discrepancy {
+		if !hasCell(c, "nor2") {
+			return nil
+		}
+		return &Discrepancy{Check: "synthetic/nor2", Profile: p.Name, Seed: seed, GNL: gnlOf(c)}
+	}
+	p := DefaultProfile()
+	var c *circuit.Circuit
+	var seed int64
+	for s := int64(0); ; s++ {
+		cand, err := Generate(p, s, library.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hasCell(cand, "nor2") && len(cand.Gates) >= 10 {
+			c, seed = cand, s
+			break
+		}
+	}
+	d := fakeCheck(c, p, seed, CheckOptions{})
+	small, sd := shrinkWith(c, d, p, seed, CheckOptions{}, 0, fakeCheck)
+	if sd == nil || sd.Check != "synthetic/nor2" {
+		t.Fatalf("shrink lost the failure: %v", sd)
+	}
+	if !hasCell(small, "nor2") {
+		t.Fatal("shrunk circuit no longer contains the witness cell")
+	}
+	if err := small.Validate(); err != nil {
+		t.Fatalf("shrunk circuit invalid: %v", err)
+	}
+	if len(small.Gates) > 3 {
+		t.Errorf("shrink left %d gates (from %d); expected ≤ 3", len(small.Gates), len(c.Gates))
+	}
+	if sd.GNL == "" {
+		t.Fatal("shrunk discrepancy carries no GNL")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/library"
+	"repro/internal/mapper"
 	"repro/internal/netlist"
 )
 
@@ -352,5 +353,102 @@ func TestBCD7SegDigits(t *testing.T) {
 				t.Errorf("digit %d segment %s = %v, want %c", digit, s, val[s], pattern[i])
 			}
 		}
+	}
+}
+
+// TestEmbeddedSourceLookup covers the raw-source accessor both ways.
+func TestEmbeddedSourceLookup(t *testing.T) {
+	src, ok := EmbeddedSource("c17")
+	if !ok || !strings.Contains(src, ".model c17") {
+		t.Fatalf("c17 source missing: ok=%v", ok)
+	}
+	if _, ok := EmbeddedSource("not-a-benchmark"); ok {
+		t.Fatal("unknown embedded source resolved")
+	}
+}
+
+// TestCorruptedEmbeddedSources pushes systematically damaged variants of
+// the embedded netlists through the same parse→map pipeline Load uses:
+// every corruption must surface as an error, never a panic or a silently
+// wrong circuit.
+func TestCorruptedEmbeddedSources(t *testing.T) {
+	base, ok := EmbeddedSource("c17")
+	if !ok {
+		t.Fatal("c17 missing")
+	}
+	lib := library.Default()
+	corruptions := []struct {
+		name string
+		mut  func(string) string
+	}{
+		{"duplicate driver", func(s string) string {
+			// Duplicate a .names block: its output net becomes multiply driven.
+			return strings.Replace(s, ".names i1 i3 n10\n11 0\n", ".names i1 i3 n10\n11 0\n.names i1 i3 n10\n11 0\n", 1)
+		}},
+		{"undriven output", func(s string) string {
+			return strings.Replace(s, ".outputs o22 o23", ".outputs o22 o23 ghost", 1)
+		}},
+		{"undriven node input", func(s string) string {
+			return strings.Replace(s, ".names n10 n16 o22", ".names n10 nope o22", 1)
+		}},
+		{"names without output", func(s string) string {
+			return strings.Replace(s, ".names i1 i3 n10", ".names", 1)
+		}},
+		{"latch", func(s string) string {
+			return strings.Replace(s, ".end", ".latch a b\n.end", 1)
+		}},
+		{"second model", func(s string) string {
+			return strings.Replace(s, ".inputs", ".model again\n.inputs", 1)
+		}},
+		{"cover row outside names", func(s string) string {
+			return strings.Replace(s, ".model c17\n", ".model c17\n11 0\n", 1)
+		}},
+		{"content after end", func(s string) string {
+			return s + ".inputs zz\n"
+		}},
+		{"unsupported construct", func(s string) string {
+			return strings.Replace(s, ".inputs", ".clock clk\n.inputs", 1)
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			src := tc.mut(base)
+			if src == base {
+				t.Fatal("mutation was a no-op; test is vacuous")
+			}
+			nw, err := netlist.ParseBLIF(strings.NewReader(src))
+			if err != nil {
+				return // rejected at parse — good
+			}
+			if _, err := mapper.Map(nw, lib); err == nil {
+				t.Fatalf("corruption accepted end to end:\n%s", src)
+			}
+		})
+	}
+}
+
+// TestSyntheticSeedSensitivity: different seeds must yield different
+// circuits (the stand-ins are pseudo-random, not degenerate).
+func TestSyntheticSeedSensitivity(t *testing.T) {
+	lib := library.Default()
+	a, err := Synthetic("x", 30, 1, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic("x", 30, 2, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Gates) == len(b.Gates)
+	if same {
+		for i := range a.Gates {
+			if a.Gates[i].Cell.Name != b.Gates[i].Cell.Name {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 generated identical cell sequences")
 	}
 }

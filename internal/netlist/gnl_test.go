@@ -119,3 +119,68 @@ func TestReadGNLTrivialOutputFromInput(t *testing.T) {
 		t.Error("unexpected gates")
 	}
 }
+
+// TestReadGNLErrorsStructural covers the malformed-line and net-rule
+// error paths the differential harness's replay parser depends on:
+// duplicate nets, duplicate names, broken bindings, missing outputs.
+func TestReadGNLErrorsStructural(t *testing.T) {
+	lib := library.Default()
+	cases := []struct {
+		name string
+		src  string
+		want string // substring expected in the error
+	}{
+		{"duplicate primary input",
+			"circuit c\ninputs a a\noutputs a\nend\n", "duplicate primary input"},
+		{"duplicate instance name",
+			"circuit c\ninputs a\noutputs z w\ngate u1 inv y=z a=a\ngate u1 inv y=w a=a\nend\n",
+			"duplicate instance name"},
+		{"net driven by input and gate",
+			"circuit c\ninputs a z\noutputs z\ngate u1 inv y=z a=a\nend\n", "driven by both"},
+		{"pin bound twice",
+			"circuit c\ninputs a b\noutputs z\ngate u1 nand2 y=z a=a a=b b=b\nend\n", "bound twice"},
+		{"binding without value",
+			"circuit c\ninputs a\noutputs z\ngate u1 inv y=z a=\nend\n", "malformed binding"},
+		{"binding without key",
+			"circuit c\ninputs a\noutputs z\ngate u1 inv y=z =a\nend\n", "malformed binding"},
+		{"binding without equals",
+			"circuit c\ninputs a\noutputs z\ngate u1 inv y=z a\nend\n", "malformed binding"},
+		{"gate line too short",
+			"circuit c\ninputs a\noutputs a\ngate u1\nend\n", "gate line needs"},
+		{"missing output net",
+			"circuit c\ninputs a\noutputs z ghost\ngate u1 inv y=z a=a\nend\n", "undriven"},
+		{"second circuit line",
+			"circuit c\ncircuit d\ninputs a\noutputs a\nend\n", "second circuit"},
+		{"circuit line without name",
+			"circuit\ninputs a\noutputs a\nend\n", "exactly one name"},
+		{"bad pu expression",
+			"circuit c\ninputs a b\noutputs z\ngate u1 nand2 y=z a=a b=b pu=p(a,\nend\n", "pu"},
+		{"combinational cycle",
+			"circuit c\ninputs a\noutputs z\ngate u1 nand2 y=z a=a b=w\ngate u2 inv y=w a=z\nend\n",
+			"cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadGNL(strings.NewReader(tc.src), lib)
+			if err == nil {
+				t.Fatalf("accepted:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadGNLCommentAndBlankHandling: comments and blank lines are
+// skipped anywhere, including inside and after gate lists.
+func TestReadGNLCommentAndBlankHandling(t *testing.T) {
+	src := "# header\n\ncircuit c # trailing\n  \ninputs a\n# mid\noutputs z\ngate u1 inv y=z a=a # gate comment\n\nend\n# trailer comments are fine before EOF\n"
+	c, err := ReadGNL(strings.NewReader(src), library.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Name != "c" {
+		t.Fatalf("parsed wrong circuit: %+v", c)
+	}
+}

@@ -217,6 +217,37 @@ func quantizeDelay(d, tick float64) int64 {
 	return t
 }
 
+// TickPlan resolves the discrete time grid a timed run of c would use:
+// the tick duration in seconds and, parallel to the returned topological
+// gate order, every gate's quantized output delay in ticks. Both timed
+// backends derive their grids from exactly this computation, so external
+// reference simulators (internal/gen's naive oracle) can share the axis
+// and be compared tick for tick. Zero-delay mode has no grid.
+func TickPlan(c *circuit.Circuit, prm Params) (tick float64, delayTicks []int64, order []*circuit.Instance, err error) {
+	if err := prm.Validate(); err != nil {
+		return 0, nil, nil, err
+	}
+	if prm.Mode == ZeroDelay {
+		return 0, nil, nil, fmt.Errorf("sim: zero-delay mode has no tick grid")
+	}
+	order, err = c.TopoOrder()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	delays, err := gateDelaySeconds(order, c.Fanout(), prm)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if tick, err = resolveTick(prm, delays); err != nil {
+		return 0, nil, nil, err
+	}
+	delayTicks = make([]int64, len(order))
+	for i, d := range delays {
+		delayTicks[i] = quantizeDelay(d, tick)
+	}
+	return tick, delayTicks, order, nil
+}
+
 func (m DelayMode) name() string {
 	switch m {
 	case UnitDelay:

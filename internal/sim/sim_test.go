@@ -8,6 +8,8 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/gate"
+	"repro/internal/library"
+	"repro/internal/mcnc"
 	"repro/internal/sp"
 	"repro/internal/stoch"
 )
@@ -409,5 +411,56 @@ func BenchmarkSimulateOAI21(b *testing.B) {
 		if _, err := Run(c, waves, 1e-3, prm); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestTickPlan pins the exported tick-grid computation external reference
+// simulators (internal/gen's oracle) share with the timed engines.
+func TestTickPlan(t *testing.T) {
+	lib := library.Default()
+	c, err := mcnc.Load("c17", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := DefaultParams()
+	tick, delays, order, err := TickPlan(c, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick != prm.Unit {
+		t.Fatalf("unit-mode tick %v, want the unit delay %v", tick, prm.Unit)
+	}
+	if len(delays) != len(c.Gates) || len(order) != len(c.Gates) {
+		t.Fatalf("plan covers %d/%d gates, want %d", len(delays), len(order), len(c.Gates))
+	}
+	for i, d := range delays {
+		if d != 1 {
+			t.Fatalf("unit-mode gate %d delayed %d ticks, want 1", i, d)
+		}
+	}
+	prm.Mode = ElmoreDelay
+	tick, delays, _, err = TickPlan(c, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick <= 0 {
+		t.Fatalf("elmore tick %v", tick)
+	}
+	minD := delays[0]
+	for _, d := range delays {
+		if d < 1 {
+			t.Fatalf("quantized delay %d below one tick", d)
+		}
+		if d < minD {
+			minD = d
+		}
+	}
+	// Auto resolution spans the fastest gate across elmoreTickDiv ticks.
+	if minD != elmoreTickDiv {
+		t.Fatalf("fastest gate spans %d ticks, want %d", minD, elmoreTickDiv)
+	}
+	prm.Mode = ZeroDelay
+	if _, _, _, err := TickPlan(c, prm); err == nil {
+		t.Fatal("zero-delay tick plan accepted")
 	}
 }

@@ -235,3 +235,58 @@ func TestLaneMaskPopcountMatchesLanes(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantizeWaveformZeroLength: the timed-engine edge cases found while
+// seeding the oracle harness — an event-free waveform must quantize to an
+// empty stimulus for any tick and horizon, including a zero-tick horizon.
+func TestQuantizeWaveformZeroLength(t *testing.T) {
+	for _, initial := range []bool{false, true} {
+		w := &Waveform{Initial: initial}
+		for _, horizonTicks := range []int64{0, 1, 1000} {
+			if got := QuantizeWaveform(w, 1e-9, horizonTicks); len(got) != 0 {
+				t.Fatalf("initial=%v horizon=%d: empty waveform produced %v", initial, horizonTicks, got)
+			}
+		}
+	}
+}
+
+// TestQuantizeWaveformSingleTransition pins the rounding, admission and
+// no-op rules on a waveform with exactly one event.
+func TestQuantizeWaveformSingleTransition(t *testing.T) {
+	const tick = 1e-9
+	cases := []struct {
+		name         string
+		initial      bool
+		ev           Event
+		horizonTicks int64
+		want         []TickEvent
+	}{
+		{"rounds down", false, Event{Time: 5.4e-9, Value: true}, 10,
+			[]TickEvent{{Tick: 5, Value: true}}},
+		{"rounds up", false, Event{Time: 5.6e-9, Value: true}, 10,
+			[]TickEvent{{Tick: 6, Value: true}}},
+		{"sub-half-tick event lands on tick zero", false, Event{Time: 0.4e-9, Value: true}, 10,
+			[]TickEvent{{Tick: 0, Value: true}}},
+		{"exactly at horizon admitted", false, Event{Time: 10e-9, Value: true}, 10,
+			[]TickEvent{{Tick: 10, Value: true}}},
+		{"rounds past horizon dropped", false, Event{Time: 10.6e-9, Value: true}, 10, nil},
+		{"beyond horizon dropped", false, Event{Time: 50e-9, Value: true}, 10, nil},
+		{"no-op transition vanishes", true, Event{Time: 5e-9, Value: true}, 10, nil},
+		{"zero-tick horizon keeps only tick-zero events", false, Event{Time: 0.3e-9, Value: true}, 0,
+			[]TickEvent{{Tick: 0, Value: true}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := &Waveform{Initial: tc.initial, Events: []Event{tc.ev}}
+			got := QuantizeWaveform(w, tick, tc.horizonTicks)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("event %d: got %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
