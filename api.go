@@ -13,6 +13,7 @@ import (
 	"repro/internal/mcnc"
 	"repro/internal/netlist"
 	"repro/internal/reorder"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stoch"
 	"repro/internal/sweep"
@@ -81,6 +82,22 @@ type (
 	// IncrementalAnalysis maintains a circuit's power analysis under
 	// local mutation, re-evaluating only fan-out cones.
 	IncrementalAnalysis = core.Incremental
+	// ServeConfig sizes the HTTP optimization service: worker and queue
+	// bounds, per-request deadline, body cap, and the capacities of the
+	// three cross-request caches (circuits, compiled programs,
+	// responses). The zero value uses production defaults.
+	ServeConfig = serve.Config
+	// Service is the HTTP/JSON optimization service (an http.Handler):
+	// /v1/analyze, /v1/optimize, /v1/simulate, /v1/sweep (streaming
+	// JSONL), /healthz and Prometheus-style /metrics, with cross-request
+	// caching, singleflight request coalescing, and bounded-queue 429
+	// shedding. cmd/servd is its CLI front end.
+	Service = serve.Server
+	// SweepCircuitCache is the shared parsed-circuit store (LRU +
+	// singleflight) a sweep can keep warm across runs via
+	// SweepOptions.Cache; the Service shares one instance across all its
+	// endpoints.
+	SweepCircuitCache = sweep.CircuitCache
 	// GateAnalysis is the power model's evaluation of a single gate.
 	GateAnalysis = core.GateAnalysis
 	// CircuitAnalysis is the power model's evaluation of a circuit.
@@ -263,6 +280,20 @@ func RunSweep(ctx context.Context, opt SweepOptions) (*SweepSummary, error) {
 // only the fan-out cone of each change.
 func NewIncrementalAnalysis(c *Circuit, pi map[string]Signal, prm PowerParams) (*IncrementalAnalysis, error) {
 	return core.NewIncremental(c, pi, prm)
+}
+
+// NewService builds the HTTP optimization service. The returned handler
+// is ready to mount on any http.Server; every response is a pure
+// function of its request, so identical requests are served identical
+// bytes (usually from the response cache) and identical concurrent
+// requests compute once.
+func NewService(cfg ServeConfig) *Service { return serve.New(cfg) }
+
+// NewSweepCircuitCache returns an empty shared circuit cache holding at
+// most capacity circuits (<= 0: unbounded), for keeping benchmarks warm
+// across RunSweep calls.
+func NewSweepCircuitCache(capacity int) *SweepCircuitCache {
+	return sweep.NewCircuitCache(capacity)
 }
 
 // ScenarioInputs draws the paper's scenario A or B primary-input

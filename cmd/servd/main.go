@@ -1,0 +1,98 @@
+// Command servd runs the optimization service: an HTTP/JSON API exposing
+// the repository's analyze / optimize / simulate / sweep engines behind a
+// shared cross-request cache (parsed circuits, compiled simulation
+// programs, deterministic responses) with a bounded job queue.
+//
+// Examples:
+//
+//	servd                                  # listen on :8080 with defaults
+//	servd -addr :9090 -workers 8 -queue 64
+//	curl localhost:8080/healthz
+//	curl -d '{"benchmark":"c17"}' localhost:8080/v1/analyze
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight jobs drain (up to
+// -grace), new connections are refused. See docs/api.md for the wire
+// format.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent compute jobs (default: GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "queued jobs beyond workers before 429 shedding (default: 4x workers)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		grace     = flag.Duration("grace", 30*time.Second, "graceful-shutdown drain budget")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body cap in bytes")
+		circuits  = flag.Int("circuit-cache", 128, "parsed-circuit LRU capacity")
+		programs  = flag.Int("program-cache", 128, "compiled-program LRU capacity")
+		responses = flag.Int("response-cache", 512, "response-body LRU capacity")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		RequestTimeout:    *timeout,
+		MaxBodyBytes:      *maxBody,
+		CircuitCacheSize:  *circuits,
+		ProgramCacheSize:  *programs,
+		ResponseCacheSize: *responses,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("servd: listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("servd: shutting down, draining in-flight jobs (up to %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("servd: drained cleanly")
+	return nil
+}

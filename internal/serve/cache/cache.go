@@ -1,0 +1,220 @@
+// Package cache provides the shared, duplicate-suppressed LRU that makes
+// the repository's long-running paths cheap under repeated work: a
+// bounded, content-keyed cache with singleflight coalescing. It is the
+// promotion of internal/sweep's per-run circuit cache into a reusable
+// component — the sweep engine now runs on it, and the HTTP service
+// (internal/serve) shares one instance across requests for parsed+mapped
+// circuits, compiled simulation programs, and serialized responses.
+//
+// Semantics:
+//
+//   - Get(key, compute) returns the cached value for key, or runs compute
+//     exactly once to fill it. Concurrent Gets for the same missing key
+//     coalesce: one caller computes, the rest block and share the result
+//     (and its error). Different keys never serialize against each other.
+//   - Values must be immutable (or safely shareable) once returned:
+//     every hit aliases the same stored value.
+//   - Errors are not cached. A failed compute propagates to every
+//     coalesced waiter and the next Get retries.
+//   - Capacity bounds completed entries only; the least-recently-used
+//     entry is evicted on overflow. In-flight computations are never
+//     evicted. Capacity <= 0 means unbounded.
+//
+// All methods are safe for concurrent use.
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits      uint64 // Gets served from a completed entry
+	Misses    uint64 // Gets that ran compute
+	Coalesced uint64 // Gets that joined another caller's in-flight compute
+	Evictions uint64 // completed entries dropped for capacity
+	Len       int    // completed entries currently held
+	Cap       int    // capacity (0 = unbounded)
+}
+
+// node is one completed entry on the recency list (head = most recent).
+type node[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *node[K, V]
+}
+
+// flight is an in-progress computation awaited by coalesced callers.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// LRU is a bounded map from K to V with least-recently-used eviction and
+// singleflight fills.
+type LRU[K comparable, V any] struct {
+	mu         sync.Mutex
+	capacity   int
+	entries    map[K]*node[K, V]
+	head, tail *node[K, V]
+	inflight   map[K]*flight[V]
+
+	hits, misses, coalesced, evictions uint64
+}
+
+// New returns an empty cache holding at most capacity completed entries
+// (capacity <= 0: unbounded).
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	return &LRU[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*node[K, V]),
+		inflight: make(map[K]*flight[V]),
+	}
+}
+
+// Get returns the value for key, computing and caching it on a miss.
+// Concurrent Gets for the same missing key run compute once; every caller
+// receives the same value (or the same error, which is not cached).
+func (c *LRU[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if n, ok := c.entries[key]; ok {
+		c.hits++
+		c.moveToFront(n)
+		v := n.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	c.misses++
+	f := &flight[V]{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed { // compute panicked: unblock waiters, then re-panic
+			f.err = fmt.Errorf("cache: compute for key %v panicked", key)
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(f.done)
+		}
+	}()
+	f.val, f.err = compute()
+	completed = true
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insert(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// Peek reports the completed entry for key without filling or touching
+// recency order.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.entries[key]; ok {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Keys returns the completed keys in recency order, most recent first —
+// the next eviction victim is the last element.
+func (c *LRU[K, V]) Keys() []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]K, 0, len(c.entries))
+	for n := c.head; n != nil; n = n.next {
+		keys = append(keys, n.key)
+	}
+	return keys
+}
+
+// Len returns the number of completed entries held.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the counters.
+func (c *LRU[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Len:       len(c.entries),
+		Cap:       c.capacity,
+	}
+}
+
+// insert adds a completed entry at the front and evicts past capacity.
+// Caller holds c.mu.
+func (c *LRU[K, V]) insert(key K, val V) {
+	if n, ok := c.entries[key]; ok { // lost a race with a parallel fill
+		n.val = val
+		c.moveToFront(n)
+		return
+	}
+	n := &node[K, V]{key: key, val: val}
+	c.entries[key] = n
+	c.pushFront(n)
+	for c.capacity > 0 && len(c.entries) > c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
+}
+
+// Caller holds c.mu for the list operations below.
+
+func (c *LRU[K, V]) pushFront(n *node[K, V]) {
+	n.prev, n.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *LRU[K, V]) unlink(n *node[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *LRU[K, V]) moveToFront(n *node[K, V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,218 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetFillsOnceAndHits(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+	for i := 0; i < 5; i++ {
+		v, err := c.Get("k", compute)
+		if err != nil || v != 42 {
+			t.Fatalf("Get #%d = (%v, %v), want (42, nil)", i, v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", calls)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 4 || st.Len != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 4 hits, len 1", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[string, int](3)
+	fill := func(k string, v int) {
+		t.Helper()
+		if got, err := c.Get(k, func() (int, error) { return v, nil }); err != nil || got != v {
+			t.Fatalf("Get(%q) = (%v, %v)", k, got, err)
+		}
+	}
+	fill("a", 1)
+	fill("b", 2)
+	fill("c", 3)
+	fill("a", 1) // touch a: order now a, c, b (b is next victim)
+	fill("d", 4) // evicts b
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("b survived eviction; want least-recently-used dropped")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Peek(k); !ok {
+			t.Fatalf("%q was evicted; want only b dropped", k)
+		}
+	}
+	if got, want := fmt.Sprint(c.Keys()), "[d a c]"; got != want {
+		t.Fatalf("recency order = %s, want %s", got, want)
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Len != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction, len 3", st)
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	c := New[int, int](0)
+	for i := 0; i < 100; i++ {
+		c.Get(i, func() (int, error) { return i, nil })
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Len != 100 {
+		t.Fatalf("stats = %+v, want 0 evictions, len 100", st)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New[string, int](4)
+	boom := errors.New("boom")
+	calls := 0
+	_, err := c.Get("k", func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("first Get err = %v, want boom", err)
+	}
+	v, err := c.Get("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry Get = (%v, %v), want (7, nil)", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (error retried)", calls)
+	}
+	if st := c.Stats(); st.Len != 1 {
+		t.Fatalf("len = %d, want 1 (error not stored)", st.Len)
+	}
+}
+
+// TestSingleflightComputesExactlyOnce is the coalescing contract: N
+// concurrent Gets for one cold key run compute once, everyone shares the
+// value, and N-1 callers are counted as coalesced.
+func TestSingleflightComputesExactlyOnce(t *testing.T) {
+	const waiters = 32
+	c := New[string, int](4)
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	compute := func() (int, error) {
+		computes.Add(1)
+		close(entered) // leader is inside; let the pack loose
+		<-release
+		return 99, nil
+	}
+
+	results := make([]int, waiters)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0], errs[0] = c.Get("k", compute) }()
+	<-entered
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); results[i], errs[i] = c.Get("k", compute) }(i)
+	}
+	// Wait until every follower has either joined the flight or (having
+	// raced past the flight's completion) would hit the cache — here the
+	// flight cannot complete before release, so they must all coalesce.
+	for c.Stats().Coalesced < waiters-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under %d concurrent Gets, want 1", n, waiters)
+	}
+	for i := range results {
+		if errs[i] != nil || results[i] != 99 {
+			t.Fatalf("caller %d got (%v, %v), want (99, nil)", i, results[i], errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Coalesced != waiters-1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want %d coalesced, 1 miss", st, waiters-1)
+	}
+}
+
+// TestContentHashParseOnce models the serve/sweep usage: many concurrent
+// requests carrying the same content hash parse once, different content
+// parses independently.
+func TestContentHashParseOnce(t *testing.T) {
+	c := New[string, string](16)
+	var parses atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("gnl:%d", i%4)
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			v, err := c.Get(key, func() (string, error) {
+				parses.Add(1)
+				return "circuit-for-" + key, nil
+			})
+			if err != nil || v != "circuit-for-"+key {
+				t.Errorf("Get(%q) = (%q, %v)", key, v, err)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if n := parses.Load(); n != 4 {
+		t.Fatalf("parsed %d distinct contents, want 4 (one per content hash)", n)
+	}
+}
+
+func TestComputePanicUnblocksWaiters(t *testing.T) {
+	c := New[string, int](4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.Get("k", func() (int, error) {
+			close(entered)
+			<-release
+			panic("kaboom")
+		})
+	}()
+	<-entered
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get("k", func() (int, error) { return 0, errors.New("should not rerun while in flight") })
+		done <- err
+	}()
+	for c.Stats().Coalesced < 1 {
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-done; err == nil {
+		t.Fatal("waiter of a panicked compute got nil error")
+	}
+	// The key must be retryable afterwards.
+	if v, err := c.Get("k", func() (int, error) { return 5, nil }); err != nil || v != 5 {
+		t.Fatalf("retry after panic = (%v, %v), want (5, nil)", v, err)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New[int, int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % 24 // more keys than capacity: exercise eviction under load
+				v, err := c.Get(k, func() (int, error) { return k * 10, nil })
+				if err != nil || v != k*10 {
+					t.Errorf("Get(%d) = (%v, %v)", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Len > 8 {
+		t.Fatalf("len %d exceeds capacity 8", st.Len)
+	}
+}

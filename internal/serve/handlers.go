@@ -1,0 +1,544 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/reorder"
+	"repro/internal/sim"
+	"repro/internal/stoch"
+	"repro/internal/sweep"
+)
+
+// maxHorizon bounds simulated time per request: with densities up to 1e6
+// transitions/second this caps the per-request event volume.
+const maxHorizon = 1e-2
+
+// defaultHorizon is short enough to be interactive and long enough for
+// hundreds of transitions at scenario-A densities.
+const defaultHorizon = 5e-5
+
+// ---------------------------------------------------------------------
+// POST /v1/analyze — the paper's power model on a circuit.
+
+type analyzeRequest struct {
+	circuitRequest
+	Detail bool `json:"detail,omitempty"` // include per-gate watts
+}
+
+type analyzeResponse struct {
+	Benchmark     string             `json:"benchmark,omitempty"`
+	Gates         int                `json:"gates"`
+	Inputs        int                `json:"inputs"`
+	Outputs       int                `json:"outputs"`
+	Power         float64            `json:"power"`
+	InternalPower float64            `json:"internal_power"`
+	OutputPower   float64            `json:"output_power"`
+	PerGate       map[string]float64 `json:"per_gate,omitempty"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeError(w, err)
+		return
+	}
+	body, err := s.cachedJSON(r.Context(), "analyze", req, func(context.Context) (any, error) {
+		c, err := s.resolve(&req.circuitRequest)
+		if err != nil {
+			return nil, err
+		}
+		an, err := core.AnalyzeCircuit(c, req.inputStats(c), core.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		resp := analyzeResponse{
+			Benchmark:     req.Benchmark,
+			Gates:         len(c.Gates),
+			Inputs:        len(c.Inputs),
+			Outputs:       len(c.Outputs),
+			Power:         an.Power,
+			InternalPower: an.InternalPower,
+			OutputPower:   an.OutputPower,
+		}
+		if req.Detail {
+			resp.PerGate = an.PerGate
+		}
+		return resp, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/optimize — the paper's Figure 3 reordering algorithm.
+
+type optimizeRequest struct {
+	circuitRequest
+	Mode      string `json:"mode,omitempty"`      // full | input-only | delay-rule | delay-neutral
+	Objective string `json:"objective,omitempty"` // min | max
+	Workers   int    `json:"workers,omitempty"`   // parallel candidate search (0: serial)
+	ReturnGNL bool   `json:"return_gnl,omitempty"`
+}
+
+func (req *optimizeRequest) normalizeOptimize() (reorder.Mode, reorder.Objective, error) {
+	if err := req.normalize(); err != nil {
+		return 0, 0, err
+	}
+	if req.Mode == "" {
+		req.Mode = reorder.Full.String()
+	}
+	mode, err := sweep.ParseMode(req.Mode)
+	if err != nil {
+		return 0, 0, errf(http.StatusBadRequest, "invalid_request", "%v", err)
+	}
+	obj := reorder.Minimize
+	switch req.Objective {
+	case "", "min":
+		req.Objective = "min"
+	case "max":
+		obj = reorder.Maximize
+	default:
+		return 0, 0, errf(http.StatusBadRequest, "invalid_request",
+			"unknown objective %q (want min or max)", req.Objective)
+	}
+	if req.Workers < 0 || req.Workers > 256 {
+		return 0, 0, errf(http.StatusBadRequest, "invalid_request",
+			"workers %d outside [0,256]", req.Workers)
+	}
+	return mode, obj, nil
+}
+
+type optimizeResponse struct {
+	Benchmark   string  `json:"benchmark,omitempty"`
+	Mode        string  `json:"mode"`
+	Objective   string  `json:"objective"`
+	Gates       int     `json:"gates"`
+	Changed     int     `json:"changed"`
+	PowerBefore float64 `json:"power_before"`
+	PowerAfter  float64 `json:"power_after"`
+	Reduction   float64 `json:"reduction"`
+	GNL         string  `json:"gnl,omitempty"`
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req optimizeRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	mode, obj, err := req.normalizeOptimize()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, err := s.cachedJSON(r.Context(), "optimize", req, func(context.Context) (any, error) {
+		c, err := s.resolve(&req.circuitRequest)
+		if err != nil {
+			return nil, err
+		}
+		ro := reorder.DefaultOptions()
+		ro.Mode = mode
+		ro.Objective = obj
+		ro.Workers = req.Workers
+		if ro.Workers == 0 {
+			ro.Workers = 1 // the service's job queue owns the parallelism
+		}
+		rep, err := reorder.Optimize(c, req.inputStats(c), ro)
+		if err != nil {
+			return nil, err
+		}
+		resp := optimizeResponse{
+			Benchmark:   req.Benchmark,
+			Mode:        req.Mode,
+			Objective:   req.Objective,
+			Gates:       len(c.Gates),
+			Changed:     rep.GatesChanged,
+			PowerBefore: rep.PowerBefore,
+			PowerAfter:  rep.PowerAfter,
+			Reduction:   rep.Reduction(),
+		}
+		if req.ReturnGNL {
+			var buf strings.Builder
+			if err := netlist.WriteGNL(&buf, rep.Circuit); err != nil {
+				return nil, err
+			}
+			resp.GNL = buf.String()
+		}
+		return resp, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/simulate — switch-level power measurement.
+
+type simulateRequest struct {
+	circuitRequest
+	Engine  string  `json:"engine,omitempty"`  // bitparallel | event
+	Delay   string  `json:"delay,omitempty"`   // zero | unit | elmore
+	Vectors int     `json:"vectors,omitempty"` // bit-parallel lanes, 1..64
+	Horizon float64 `json:"horizon,omitempty"` // simulated seconds
+	Tick    float64 `json:"tick,omitempty"`    // timed grid resolution (0: auto)
+}
+
+func parseDelayMode(s string) (sim.DelayMode, error) {
+	switch s {
+	case "zero":
+		return sim.ZeroDelay, nil
+	case "unit":
+		return sim.UnitDelay, nil
+	case "elmore":
+		return sim.ElmoreDelay, nil
+	}
+	return 0, fmt.Errorf("unknown delay mode %q (want zero, unit or elmore)", s)
+}
+
+func (req *simulateRequest) normalizeSimulate() (sim.Engine, sim.DelayMode, error) {
+	if err := req.normalize(); err != nil {
+		return 0, 0, err
+	}
+	if req.Engine == "" {
+		req.Engine = sim.BitParallel.String()
+	}
+	engine, err := sim.ParseEngine(req.Engine)
+	if err != nil {
+		return 0, 0, errf(http.StatusBadRequest, "invalid_request", "%v", err)
+	}
+	req.Engine = engine.String() // canonicalize aliases ("bit-parallel")
+	if req.Delay == "" {
+		req.Delay = "zero"
+	}
+	mode, err := parseDelayMode(req.Delay)
+	if err != nil {
+		return 0, 0, errf(http.StatusBadRequest, "invalid_request", "%v", err)
+	}
+	switch engine {
+	case sim.EventDriven:
+		if req.Vectors != 0 {
+			return 0, 0, errf(http.StatusBadRequest, "invalid_request",
+				"\"vectors\" applies only to the bitparallel engine (event runs one realization)")
+		}
+	case sim.BitParallel:
+		if req.Vectors == 0 {
+			req.Vectors = 16
+		}
+		if req.Vectors < 1 || req.Vectors > stoch.MaxLanes {
+			return 0, 0, errf(http.StatusBadRequest, "invalid_request",
+				"vectors %d outside [1,%d]", req.Vectors, stoch.MaxLanes)
+		}
+	}
+	if req.Tick != 0 {
+		if mode == sim.ZeroDelay {
+			return 0, 0, errf(http.StatusBadRequest, "invalid_request",
+				"\"tick\" applies only to the timed delay modes (unit, elmore)")
+		}
+		if req.Tick < 0 || math.IsNaN(req.Tick) || math.IsInf(req.Tick, 0) {
+			return 0, 0, errf(http.StatusBadRequest, "invalid_request",
+				"tick %v must be a positive duration in seconds", req.Tick)
+		}
+	}
+	if req.Horizon == 0 {
+		req.Horizon = defaultHorizon
+	}
+	if req.Horizon <= 0 || math.IsNaN(req.Horizon) || req.Horizon > maxHorizon {
+		return 0, 0, errf(http.StatusBadRequest, "invalid_request",
+			"horizon %v outside (0,%v] seconds", req.Horizon, maxHorizon)
+	}
+	return engine, mode, nil
+}
+
+type simulateResponse struct {
+	Benchmark     string  `json:"benchmark,omitempty"`
+	Engine        string  `json:"engine"`
+	Delay         string  `json:"delay"`
+	Lanes         int     `json:"lanes"`
+	Horizon       float64 `json:"horizon"`
+	Energy        float64 `json:"energy"`
+	Power         float64 `json:"power"`
+	InternalFlips int     `json:"internal_flips"`
+	OutputFlips   int     `json:"output_flips"`
+	Events        int     `json:"events,omitempty"` // event engine only
+	Steps         int     `json:"steps,omitempty"`  // bit-parallel only
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	engine, mode, err := req.normalizeSimulate()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, err := s.cachedJSON(r.Context(), "simulate", req, func(context.Context) (any, error) {
+		c, err := s.resolve(&req.circuitRequest)
+		if err != nil {
+			return nil, err
+		}
+		pi := req.inputStats(c)
+		prm := sim.DefaultParams()
+		prm.Engine = engine
+		prm.Mode = mode
+		prm.Tick = req.Tick
+		rng := rand.New(rand.NewSource(req.Seed))
+		resp := simulateResponse{
+			Benchmark: req.Benchmark,
+			Engine:    req.Engine,
+			Delay:     req.Delay,
+			Horizon:   req.Horizon,
+		}
+
+		if engine == sim.EventDriven {
+			waves, err := sim.GenerateWaveforms(c.Inputs, pi, req.Horizon, rng)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(c, waves, req.Horizon, prm)
+			if err != nil {
+				return nil, err
+			}
+			resp.Lanes = 1
+			resp.Energy = res.Energy
+			resp.Power = res.Power
+			resp.InternalFlips = res.InternalFlips
+			resp.OutputFlips = res.OutputFlips
+			resp.Events = res.Events
+			return resp, nil
+		}
+
+		var res *sim.BitResult
+		if mode == sim.ZeroDelay {
+			prog, err := s.program(req.circuitKey(), c, prm)
+			if err != nil {
+				return nil, err
+			}
+			stim, err := sim.GeneratePackedWaveforms(c.Inputs, pi, req.Horizon, req.Vectors, rng)
+			if err != nil {
+				return nil, err
+			}
+			res, err = prog.Run(stim)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			prog, err := s.timedProgram(req.circuitKey(), c, prm)
+			if err != nil {
+				return nil, err
+			}
+			laneWaves, err := sim.GenerateLaneWaveforms(c.Inputs, pi, req.Horizon, req.Vectors, rng)
+			if err != nil {
+				return nil, err
+			}
+			stim, err := prog.PackTimed(laneWaves, req.Horizon)
+			if err != nil {
+				return nil, err
+			}
+			res, err = prog.Run(stim)
+			if err != nil {
+				return nil, err
+			}
+		}
+		resp.Lanes = res.Lanes
+		resp.Energy = res.Energy
+		resp.Power = res.Power
+		resp.InternalFlips = res.InternalFlips
+		resp.OutputFlips = res.OutputFlips
+		resp.Steps = res.Steps
+		return resp, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// program returns the circuit's compiled zero-delay bit-parallel program,
+// reusing one compilation across requests for the same netlist. Programs
+// are immutable and safe for concurrent runs.
+func (s *Server) program(circuitKey string, c *circuit.Circuit, prm sim.Params) (*sim.Program, error) {
+	key := circuitKey + "|prog:zero"
+	v, err := s.programs.Get(key, func() (any, error) { return sim.Compile(c, prm) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sim.Program), nil
+}
+
+// timedProgram is the timed counterpart, keyed additionally by delay mode
+// and tick so every distinct grid compiles once.
+func (s *Server) timedProgram(circuitKey string, c *circuit.Circuit, prm sim.Params) (*sim.TimedProgram, error) {
+	mode := "unit"
+	if prm.Mode == sim.ElmoreDelay {
+		mode = "elmore"
+	}
+	key := circuitKey + "|prog:" + mode + "|tick=" + strconv.FormatFloat(prm.Tick, 'g', -1, 64)
+	v, err := s.programs.Get(key, func() (any, error) { return sim.CompileTimed(c, prm) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sim.TimedProgram), nil
+}
+
+// ---------------------------------------------------------------------
+// POST /v1/sweep — the concurrent experiment engine, streamed as JSONL.
+
+type sweepRequest struct {
+	Benchmarks []string `json:"benchmarks"`
+	Scenarios  []string `json:"scenarios,omitempty"` // default: A and B
+	Modes      []string `json:"modes,omitempty"`     // default: full
+	Seeds      []int64  `json:"seeds,omitempty"`     // default: one run
+	Simulate   bool     `json:"simulate,omitempty"`  // also measure the S column
+}
+
+// maxSweepJobs bounds the cross product one request may enqueue.
+const maxSweepJobs = 1024
+
+func (req *sweepRequest) toOptions(s *Server) (sweep.Options, error) {
+	opt := sweep.DefaultOptions()
+	opt.Expt.Lib = s.cfg.Lib
+	opt.Simulate = req.Simulate
+	opt.Workers = s.cfg.Workers
+	opt.Cache = s.circuits
+	if len(req.Benchmarks) == 0 {
+		return opt, errf(http.StatusBadRequest, "invalid_request",
+			"\"benchmarks\" must name at least one circuit")
+	}
+	for _, b := range req.Benchmarks {
+		if !knownBenchmark(b) {
+			return opt, errf(http.StatusNotFound, "unknown_benchmark",
+				"benchmark %q is neither an embedded classic nor a Table 3 name", b)
+		}
+	}
+	opt.Benchmarks = req.Benchmarks
+	if len(req.Scenarios) > 0 {
+		opt.Scenarios = opt.Scenarios[:0]
+		for _, sc := range req.Scenarios {
+			parsed, err := sweep.ParseScenario(sc)
+			if err != nil {
+				return opt, errf(http.StatusBadRequest, "invalid_request", "%v", err)
+			}
+			opt.Scenarios = append(opt.Scenarios, parsed)
+		}
+	}
+	if len(req.Modes) > 0 {
+		opt.Modes = opt.Modes[:0]
+		for _, m := range req.Modes {
+			parsed, err := sweep.ParseMode(m)
+			if err != nil {
+				return opt, errf(http.StatusBadRequest, "invalid_request", "%v", err)
+			}
+			opt.Modes = append(opt.Modes, parsed)
+		}
+	}
+	opt.Seeds = req.Seeds
+	if n := len(sweep.Jobs(opt)); n > maxSweepJobs {
+		return opt, errf(http.StatusBadRequest, "invalid_request",
+			"sweep expands to %d jobs, limit %d", n, maxSweepJobs)
+	}
+	return opt, nil
+}
+
+// sweepSummaryLine terminates the JSONL stream.
+type sweepSummaryLine struct {
+	Failed     int               `json:"failed"`
+	Aggregates []sweep.Aggregate `json:"aggregates"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	opt, err := req.toOptions(s)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	if d := s.cfg.slowdown; d > 0 {
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fw := &flushWriter{w: w}
+	opt.Stream = fw
+	summary, err := sweep.Run(r.Context(), opt)
+	enc := json.NewEncoder(fw)
+	if err != nil {
+		// The stream may be mid-flight: convey the failure in-band.
+		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	enc.Encode(map[string]sweepSummaryLine{
+		"summary": {Failed: summary.Failed, Aggregates: summary.Aggregates},
+	})
+}
+
+// flushWriter flushes after every write so JSONL lines reach the client
+// as jobs finish.
+type flushWriter struct {
+	w http.ResponseWriter
+}
+
+func (fw *flushWriter) Write(b []byte) (int, error) {
+	n, err := fw.w.Write(b)
+	if f, ok := fw.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return n, err
+}
+
+// ---------------------------------------------------------------------
+// GET /healthz, GET /metrics.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := requireGET(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if err := requireGET(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}

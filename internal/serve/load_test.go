@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// postBody fires one POST and returns (status, body).
+func postBody(t *testing.T, client *http.Client, url, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestConcurrentLoadByteIdentical is the service's core contract under
+// load: thousands of concurrent mixed requests, every response a pure
+// function of its (request, seed) pair — all responses to one payload
+// byte-identical — with the shared caches doing the deduplication
+// (exactly one parse+map per distinct circuit, one compile per distinct
+// program, nonzero response-cache hits).
+func TestConcurrentLoadByteIdentical(t *testing.T) {
+	srv := New(Config{Workers: 8, QueueDepth: 4096})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	gnl, err := json.Marshal(c17GNL(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := []struct {
+		path, body string
+	}{
+		{"/v1/analyze", `{"benchmark":"c17","seed":1}`},
+		{"/v1/analyze", `{"benchmark":"rca4","detail":true,"seed":2}`},
+		{"/v1/analyze", `{"gnl":` + string(gnl) + `,"seed":1}`},
+		{"/v1/optimize", `{"benchmark":"c17","mode":"full"}`},
+		{"/v1/optimize", `{"benchmark":"rca4","mode":"input-only","objective":"max"}`},
+		{"/v1/simulate", `{"benchmark":"c17","vectors":8,"seed":3}`},
+		{"/v1/simulate", `{"benchmark":"c17","delay":"unit","vectors":4,"seed":4}`},
+		{"/v1/simulate", `{"benchmark":"rca4","delay":"elmore","vectors":4,"seed":5}`},
+	}
+
+	const (
+		goroutines = 40
+		perWorker  = 50 // 40×50 = 2000 requests across 8 payloads
+	)
+	bodies := make([][][]byte, goroutines) // [worker][request] -> body
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := ts.Client()
+			bodies[g] = make([][]byte, perWorker)
+			<-start
+			for i := 0; i < perWorker; i++ {
+				p := payloads[(g+i)%len(payloads)]
+				code, body := postBody(t, client, ts.URL, p.path, p.body)
+				if code != http.StatusOK {
+					t.Errorf("worker %d req %d: status %d: %s", g, i, code, body)
+					return
+				}
+				bodies[g][i] = body
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Byte-identical responses per payload, across all workers.
+	reference := make([][]byte, len(payloads))
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perWorker; i++ {
+			p := (g + i) % len(payloads)
+			if reference[p] == nil {
+				reference[p] = bodies[g][i]
+			} else if !bytes.Equal(reference[p], bodies[g][i]) {
+				t.Fatalf("payload %d (%s %s): divergent responses\n%s\nvs\n%s",
+					p, payloads[p].path, payloads[p].body, reference[p], bodies[g][i])
+			}
+		}
+	}
+
+	// The caches actually deduplicated: 3 distinct circuits (c17, rca4,
+	// GNL-c17) parsed once each, 3 distinct programs compiled once each,
+	// and the response cache absorbed nearly all 2000 requests.
+	if st := srv.circuits.Stats(); st.Misses != 3 {
+		t.Errorf("circuit cache parsed %d circuits, want exactly 3: %+v", st.Misses, st)
+	}
+	if st := srv.programs.Stats(); st.Misses != 3 {
+		t.Errorf("program cache compiled %d programs, want exactly 3: %+v", st.Misses, st)
+	}
+	st := srv.responses.Stats()
+	if st.Misses != uint64(len(payloads)) {
+		t.Errorf("response cache computed %d bodies, want %d: %+v", st.Misses, len(payloads), st)
+	}
+	if st.Hits == 0 {
+		t.Error("response cache recorded zero hits under 2000 repeated requests")
+	}
+	if got := st.Hits + st.Misses + st.Coalesced; got != goroutines*perWorker {
+		t.Errorf("response lookups = %d, want %d", got, goroutines*perWorker)
+	}
+
+	// And /metrics reports it.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(metrics, fmt.Sprintf(`servd_cache_hits_total{cache="response"} %d`, st.Hits)) {
+		t.Errorf("metrics do not report the response-cache hits:\n%s", metrics)
+	}
+	if strings.Contains(metrics, `servd_cache_hits_total{cache="response"} 0`) {
+		t.Error("metrics report zero response-cache hits")
+	}
+}
+
+// TestCoalescingComputesOnce pins singleflight at the response layer: a
+// burst of identical requests against a cold cache runs the computation
+// exactly once, and the burst's stragglers are counted as coalesced.
+func TestCoalescingComputesOnce(t *testing.T) {
+	srv := New(Config{Workers: 4, slowdown: 200 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const burst = 32
+	bodies := make([][]byte, burst)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			code, body := postBody(t, ts.Client(), ts.URL, "/v1/analyze", `{"benchmark":"c17","seed":9}`)
+			if code != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, code, body)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < burst; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("coalesced responses diverge:\n%s\nvs\n%s", bodies[0], bodies[i])
+		}
+	}
+	st := srv.responses.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("burst of %d identical requests computed %d times, want 1: %+v", burst, st.Misses, st)
+	}
+	if st.Coalesced == 0 {
+		t.Fatalf("no requests coalesced onto the in-flight computation: %+v", st)
+	}
+	if st.Hits+st.Coalesced != burst-1 {
+		t.Fatalf("hits(%d) + coalesced(%d) != %d: %+v", st.Hits, st.Coalesced, burst-1, st)
+	}
+}
+
+// TestSaturationSheds429 pins the bounded queue: with one worker, a
+// queue of one, and deliberately slow jobs, a burst of distinct requests
+// must shed with structured 429s instead of queueing without bound.
+func TestSaturationSheds429(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1, slowdown: 300 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const burst = 32
+	codes := make([]int, burst)
+	rebodies := make([][]byte, burst)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Distinct seeds: every request is a distinct job, so neither
+			// the response cache nor coalescing can absorb the burst.
+			codes[i], rebodies[i] = postBody(t, ts.Client(), ts.URL, "/v1/analyze",
+				fmt.Sprintf(`{"benchmark":"c17","seed":%d}`, 1000+i))
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	var ok, shed, other int
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			var env errorEnvelope
+			if err := json.Unmarshal(rebodies[i], &env); err != nil || env.Error.Code != "overloaded" {
+				t.Fatalf("429 body not structured: %s", rebodies[i])
+			}
+		default:
+			other++
+		}
+	}
+	if ok == 0 {
+		t.Error("saturated server served nothing; want the worker+queue slots to complete")
+	}
+	if shed < burst/4 {
+		t.Errorf("only %d/%d requests shed with 429; the queue is not bounded tightly", shed, burst)
+	}
+	if other != 0 {
+		t.Errorf("%d requests returned unexpected codes: %v", other, codes)
+	}
+	if srv.metrics.shed.Load() == 0 {
+		t.Error("shed counter is zero despite 429 responses")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp.Body)
+	resp.Body.Close()
+	if strings.Contains(metrics, "servd_shed_total 0") {
+		t.Error("metrics report zero shed requests after saturation")
+	}
+}
+
+// TestQueueDeadline pins the per-request deadline while saturated: jobs
+// that cannot start (or finish) before RequestTimeout return 503 with a
+// structured "deadline" error, not a hang.
+func TestQueueDeadline(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8, RequestTimeout: 100 * time.Millisecond, slowdown: 400 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const burst = 4
+	codes := make([]int, burst)
+	bodies := make([][]byte, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], bodies[i] = postBody(t, ts.Client(), ts.URL, "/v1/analyze",
+				fmt.Sprintf(`{"benchmark":"c17","seed":%d}`, 2000+i))
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d (%s), want 503 under a 100ms deadline with 400ms jobs",
+				i, c, bodies[i])
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(bodies[i], &env); err != nil || env.Error.Code != "deadline" {
+			t.Fatalf("503 body not structured deadline error: %s", bodies[i])
+		}
+	}
+}
+
+// TestSweepConcurrentStreams drives concurrent identical sweep requests
+// and checks every stream parses to the same deterministic results
+// (modulo wall-clock timing) with the summary line last.
+func TestSweepConcurrentStreams(t *testing.T) {
+	srv := New(Config{Workers: 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const streams = 8
+	results := make([][]sweep.Result, streams)
+	var wg sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := postBody(t, ts.Client(), ts.URL, "/v1/sweep",
+				`{"benchmarks":["c17","rca4"],"scenarios":["A"],"seeds":[1,2]}`)
+			if code != http.StatusOK {
+				t.Errorf("stream %d: status %d: %s", i, code, body)
+				return
+			}
+			lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+			if len(lines) != 5 { // 4 jobs + summary
+				t.Errorf("stream %d: %d lines, want 5", i, len(lines))
+				return
+			}
+			for _, line := range lines[:4] {
+				var r sweep.Result
+				if err := json.Unmarshal([]byte(line), &r); err != nil {
+					t.Errorf("stream %d: bad JSONL line %q: %v", i, line, err)
+					return
+				}
+				r.ElapsedMS = 0
+				results[i] = append(results[i], r)
+			}
+			if !strings.Contains(lines[4], `"summary"`) {
+				t.Errorf("stream %d: last line is not the summary: %q", i, lines[4])
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Jobs stream in completion order; sort by index before comparing.
+	for i := range results {
+		sort.Slice(results[i], func(a, b int) bool { return results[i][a].Index < results[i][b].Index })
+	}
+	for i := 1; i < streams; i++ {
+		if fmt.Sprintf("%+v", results[i]) != fmt.Sprintf("%+v", results[0]) {
+			t.Fatalf("stream %d diverges:\n%+v\nvs\n%+v", i, results[i], results[0])
+		}
+	}
+	// Four jobs per stream over two circuits: the shared cache parsed
+	// each circuit exactly once across all eight streams.
+	if st := srv.circuits.Stats(); st.Misses != 2 {
+		t.Errorf("concurrent sweeps parsed %d circuits, want 2: %+v", st.Misses, st)
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/serve/cache"
+)
+
+// metrics is the service's counter set, rendered in the Prometheus text
+// exposition format at /metrics. Request counters are recorded by the
+// endpoint middleware; cache counters are read live from the caches.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]uint64
+	shed     atomic.Uint64
+}
+
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[requestKey]uint64)}
+}
+
+func (m *metrics) record(endpoint string, code int) {
+	m.mu.Lock()
+	m.requests[requestKey{endpoint, code}]++
+	m.mu.Unlock()
+}
+
+// snapshotRequests returns the request counters in deterministic order.
+func (m *metrics) snapshotRequests() []struct {
+	requestKey
+	n uint64
+} {
+	m.mu.Lock()
+	out := make([]struct {
+		requestKey
+		n uint64
+	}, 0, len(m.requests))
+	for k, n := range m.requests {
+		out = append(out, struct {
+			requestKey
+			n uint64
+		}{k, n})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].endpoint != out[j].endpoint {
+			return out[i].endpoint < out[j].endpoint
+		}
+		return out[i].code < out[j].code
+	})
+	return out
+}
+
+// writeMetrics renders every counter. Cache stats come straight from the
+// shared caches, so /metrics is also how the load tests assert that
+// cross-request caching and coalescing actually happened.
+func (s *Server) writeMetrics(w io.Writer) {
+	fmt.Fprintln(w, "# HELP servd_requests_total HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE servd_requests_total counter")
+	for _, r := range s.metrics.snapshotRequests() {
+		fmt.Fprintf(w, "servd_requests_total{endpoint=%q,code=\"%d\"} %d\n", r.endpoint, r.code, r.n)
+	}
+
+	caches := []struct {
+		name  string
+		stats cache.Stats
+	}{
+		{"circuit", s.circuits.Stats()},
+		{"program", s.programs.Stats()},
+		{"response", s.responses.Stats()},
+	}
+	writeCacheCounter := func(metric, help string, value func(cache.Stats) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", metric, help, metric)
+		for _, c := range caches {
+			fmt.Fprintf(w, "%s{cache=%q} %d\n", metric, c.name, value(c.stats))
+		}
+	}
+	writeCacheCounter("servd_cache_hits_total", "Cache lookups served from a completed entry.",
+		func(st cache.Stats) uint64 { return st.Hits })
+	writeCacheCounter("servd_cache_misses_total", "Cache lookups that computed a fresh entry.",
+		func(st cache.Stats) uint64 { return st.Misses })
+	writeCacheCounter("servd_cache_coalesced_total", "Lookups that joined an identical in-flight computation.",
+		func(st cache.Stats) uint64 { return st.Coalesced })
+	writeCacheCounter("servd_cache_evictions_total", "Entries evicted for capacity.",
+		func(st cache.Stats) uint64 { return st.Evictions })
+	fmt.Fprintln(w, "# HELP servd_cache_entries Completed entries currently cached.")
+	fmt.Fprintln(w, "# TYPE servd_cache_entries gauge")
+	for _, c := range caches {
+		fmt.Fprintf(w, "servd_cache_entries{cache=%q} %d\n", c.name, c.stats.Len)
+	}
+
+	fmt.Fprintln(w, "# HELP servd_queue_depth Jobs currently waiting for a worker slot.")
+	fmt.Fprintln(w, "# TYPE servd_queue_depth gauge")
+	fmt.Fprintf(w, "servd_queue_depth %d\n", s.queued.Load())
+	fmt.Fprintln(w, "# HELP servd_inflight_jobs Jobs currently holding a worker slot.")
+	fmt.Fprintln(w, "# TYPE servd_inflight_jobs gauge")
+	fmt.Fprintf(w, "servd_inflight_jobs %d\n", len(s.sem))
+	fmt.Fprintln(w, "# HELP servd_shed_total Requests rejected with 429 because the queue was full.")
+	fmt.Fprintln(w, "# TYPE servd_shed_total counter")
+	fmt.Fprintf(w, "servd_shed_total %d\n", s.metrics.shed.Load())
+}

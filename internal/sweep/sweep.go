@@ -13,7 +13,10 @@
 //     or workers touch it — circuits are read-only after loading
 //     (optimization clones), and per-job propagation state stays
 //     worker-local (the gate-configuration template cache in
-//     internal/core is shared process-wide already);
+//     internal/core is shared process-wide already). The cache is an
+//     internal/serve/cache LRU with singleflight coalescing; pass one in
+//     via Options.Cache to keep circuits warm across runs (the HTTP
+//     service does), or leave it nil for a private per-run cache;
 //   - cancellation via context.Context: in-flight gates finish, queued
 //     jobs are abandoned, and Run returns ctx.Err();
 //   - streaming: each finished job is encoded as one JSON line to
@@ -45,7 +48,27 @@ import (
 	"repro/internal/library"
 	"repro/internal/mcnc"
 	"repro/internal/reorder"
+	"repro/internal/serve/cache"
 )
+
+// CircuitCache is the shared circuit store: parsed + technology-mapped
+// circuits keyed by CircuitKey, with singleflight duplicate suppression.
+// One instance may back any number of concurrent sweeps and HTTP requests
+// — cached circuits are read-only by convention (every mutating consumer
+// clones). All circuits in one cache must be mapped onto the same
+// library.
+type CircuitCache = cache.LRU[string, *circuit.Circuit]
+
+// NewCircuitCache returns an empty circuit cache holding at most capacity
+// circuits (capacity <= 0: unbounded).
+func NewCircuitCache(capacity int) *CircuitCache {
+	return cache.New[string, *circuit.Circuit](capacity)
+}
+
+// CircuitKey is the cache-key convention for benchmark circuits. Callers
+// caching circuits from other sources (e.g. request-supplied GNL) must
+// use a distinct prefix; internal/serve uses "gnl:<content hash>".
+func CircuitKey(benchmark string) string { return "bench:" + benchmark }
 
 // Job identifies one cell of the sweep cross product.
 type Job struct {
@@ -103,6 +126,13 @@ type Options struct {
 	// would oversubscribe. Raise it for few-job sweeps of large circuits.
 	// Results are identical for any value.
 	OptimizerWorkers int
+
+	// Cache optionally supplies a shared circuit cache so benchmarks
+	// loaded by this sweep stay warm for later sweeps and for the HTTP
+	// service's other endpoints. Nil uses a private, unbounded per-run
+	// cache (the pre-service behavior). Results are identical either way
+	// — the cache only suppresses duplicate parse+map work.
+	Cache *CircuitCache
 
 	Stream   io.Writer    // optional: one JSON object per finished job
 	OnResult func(Result) // optional: called per finished job (serialized)
@@ -215,7 +245,10 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 
 	next := make(chan int)
 	var wg sync.WaitGroup
-	cache := newCircuitCache()
+	cc := opt.Cache
+	if cc == nil {
+		cc = NewCircuitCache(0)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -224,7 +257,7 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 				if ctx.Err() != nil {
 					continue // drain without working; Run reports the cause
 				}
-				results[i] = runJob(jobs[i], cache, opt)
+				results[i] = runJob(jobs[i], cc, opt)
 				emit(results[i])
 			}
 		}()
@@ -284,45 +317,24 @@ func (s *Summary) aggregate(opt Options) {
 	}
 }
 
-// circuitCache loads each benchmark at most once across the pool.
-// Loading (BLIF parse or synthesis + technology mapping) dominates small
-// jobs; the loaded circuit is read-only thereafter — every consumer that
-// mutates works on a clone — so sharing one copy is safe. A per-name
-// sync.Once suppresses duplicate loads when several workers request the
-// same benchmark concurrently without serializing loads of different
+// loadCircuit fills the shared cache with the named benchmark. Loading
+// (BLIF parse or synthesis + technology mapping) dominates small jobs;
+// the loaded circuit is read-only thereafter — every consumer that
+// mutates works on a clone — so sharing one copy is safe. The cache's
+// singleflight suppresses duplicate loads when several workers request
+// the same benchmark concurrently without serializing loads of different
 // benchmarks.
-type circuitCache struct {
-	mu sync.Mutex
-	m  map[string]*circuitEntry
-}
-
-type circuitEntry struct {
-	once sync.Once
-	c    *circuit.Circuit
-	err  error
-}
-
-func newCircuitCache() *circuitCache {
-	return &circuitCache{m: map[string]*circuitEntry{}}
-}
-
-func (cc *circuitCache) load(name string, lib *library.Library) (*circuit.Circuit, error) {
-	cc.mu.Lock()
-	e, ok := cc.m[name]
-	if !ok {
-		e = &circuitEntry{}
-		cc.m[name] = e
-	}
-	cc.mu.Unlock()
-	e.once.Do(func() { e.c, e.err = mcnc.Load(name, lib) })
-	return e.c, e.err
+func loadCircuit(cc *CircuitCache, name string, lib *library.Library) (*circuit.Circuit, error) {
+	return cc.Get(CircuitKey(name), func() (*circuit.Circuit, error) {
+		return mcnc.Load(name, lib)
+	})
 }
 
 // runJob measures one cell of the cross product: best- and worst-power
 // reorderings under the job's mode, the model reduction between them,
 // optionally the switch-level-simulated reduction under identical
 // stimulus, and the delay increase of the power-optimal circuit.
-func runJob(job Job, cache *circuitCache, opt Options) Result {
+func runJob(job Job, cc *CircuitCache, opt Options) Result {
 	start := time.Now()
 	res := Result{
 		Index:     job.Index,
@@ -336,7 +348,7 @@ func runJob(job Job, cache *circuitCache, opt Options) Result {
 		res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
 		return res
 	}
-	c, err := cache.load(job.Benchmark, opt.Expt.Lib)
+	c, err := loadCircuit(cc, job.Benchmark, opt.Expt.Lib)
 	if err != nil {
 		return fail(err)
 	}

@@ -236,3 +236,47 @@ func TestParseHelpers(t *testing.T) {
 		t.Fatal("ParseScenario accepted C")
 	}
 }
+
+// TestSharedCacheEquivalence pins the cache retrofit: a sweep on a
+// shared, pre-warmed cross-run cache (the HTTP service's configuration)
+// returns results field-identical to a sweep on a private cold cache, and
+// the warm run reloads nothing.
+func TestSharedCacheEquivalence(t *testing.T) {
+	opt := smallOptions()
+	opt.Workers = 4
+	private, err := Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := NewCircuitCache(32)
+	warm := smallOptions()
+	warm.Workers = 4
+	warm.Cache = shared
+	if _, err := Run(context.Background(), warm); err != nil {
+		t.Fatal(err)
+	}
+	loadsAfterFirst := shared.Stats().Misses
+	if loadsAfterFirst != 2 {
+		t.Fatalf("first shared run loaded %d circuits, want 2 (one per benchmark)", loadsAfterFirst)
+	}
+
+	again, err := Run(context.Background(), warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := shared.Stats()
+	if st.Misses != loadsAfterFirst {
+		t.Fatalf("warm re-run loaded %d new circuits, want 0", st.Misses-loadsAfterFirst)
+	}
+	if st.Hits == 0 {
+		t.Fatal("warm re-run recorded no cache hits")
+	}
+	if !reflect.DeepEqual(stripTiming(private.Results), stripTiming(again.Results)) {
+		t.Fatalf("shared-cache results diverge from private-cache results:\n%+v\nvs\n%+v",
+			stripTiming(again.Results), stripTiming(private.Results))
+	}
+	if !reflect.DeepEqual(private.Aggregates, again.Aggregates) {
+		t.Fatalf("aggregates diverge: %+v vs %+v", again.Aggregates, private.Aggregates)
+	}
+}
