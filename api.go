@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/expt"
+	"repro/internal/faults"
 	"repro/internal/library"
 	"repro/internal/mapper"
 	"repro/internal/mcnc"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stoch"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -102,6 +104,20 @@ type (
 	GateAnalysis = core.GateAnalysis
 	// CircuitAnalysis is the power model's evaluation of a circuit.
 	CircuitAnalysis = core.CircuitAnalysis
+	// ResultStore is the content-addressed, append-only, crash-safe
+	// journal of finished sweep jobs. Wire one into SweepOptions.Store
+	// (with Resume) or ServeConfig.Store for checkpoint/resume sweeps.
+	ResultStore = store.Store
+	// ResultStoreOptions configures a ResultStore (segment rotation size,
+	// per-append fsync).
+	ResultStoreOptions = store.Options
+	// SweepFailure is one failed sweep job's structured failure record:
+	// what failed, how (error vs. panic), and after how many attempts.
+	SweepFailure = sweep.FailureRecord
+	// FaultPlan is a deterministic, seeded fault-injection schedule for
+	// chaos testing sweeps, the result store, and the service. A nil plan
+	// injects nothing.
+	FaultPlan = faults.Plan
 )
 
 // Optimization modes (see reorder.Mode).
@@ -294,6 +310,21 @@ func NewService(cfg ServeConfig) *Service { return serve.New(cfg) }
 // across RunSweep calls.
 func NewSweepCircuitCache(capacity int) *SweepCircuitCache {
 	return sweep.NewCircuitCache(capacity)
+}
+
+// OpenResultStore opens (creating if needed) a crash-safe result store
+// in dir, recovering any torn journal tail a previous crash left. Close
+// it when done; see docs/resume.md for the on-disk format and resume
+// semantics.
+func OpenResultStore(dir string, opt ResultStoreOptions) (*ResultStore, error) {
+	return store.Open(dir, opt)
+}
+
+// ParseFaultPlan builds a deterministic fault-injection plan from a
+// spec like "error=0.2,panic=0.1,delay=0.1,torn=0.05,maxdelay=2ms". An
+// empty spec returns a nil plan (injection off). Testing only.
+func ParseFaultPlan(spec string, seed int64) (*FaultPlan, error) {
+	return faults.Parse(spec, seed)
 }
 
 // ScenarioInputs draws the paper's scenario A or B primary-input

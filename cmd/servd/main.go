@@ -7,9 +7,15 @@
 //
 //	servd                                  # listen on :8080 with defaults
 //	servd -addr :9090 -workers 8 -queue 64
+//	servd -store results.db                # durable, resumable /v1/sweep
 //	curl localhost:8080/healthz
 //	curl -d '{"benchmark":"c17"}' localhost:8080/v1/analyze
 //	curl localhost:8080/metrics
+//
+// With -store, every successful sweep job is journaled in a crash-safe
+// content-addressed result store; re-POSTing a sweep (including after a
+// crash and restart) replays warm results instead of recomputing. See
+// docs/resume.md.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight jobs drain (up to
 // -grace), new connections are refused. See docs/api.md for the wire
@@ -28,7 +34,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -49,13 +57,21 @@ func run() error {
 		circuits  = flag.Int("circuit-cache", 128, "parsed-circuit LRU capacity")
 		programs  = flag.Int("program-cache", 128, "compiled-program LRU capacity")
 		responses = flag.Int("response-cache", 512, "response-body LRU capacity")
+		storeDir  = flag.String("store", "", "journal sweep results into this directory and resume /v1/sweep from it")
+		retries   = flag.Int("sweep-retries", 2, "per-job retry budget for transient sweep failures")
+		faultSpec = flag.String("fault-spec", "", "TESTING ONLY: deterministic fault-injection spec, e.g. error=0.2,panic=0.1")
+		faultSeed = flag.Int64("fault-seed", 1, "TESTING ONLY: seed for -fault-spec")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", flag.Args())
 	}
 
-	srv := serve.New(serve.Config{
+	plan, err := faults.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		RequestTimeout:    *timeout,
@@ -63,7 +79,21 @@ func run() error {
 		CircuitCacheSize:  *circuits,
 		ProgramCacheSize:  *programs,
 		ResponseCacheSize: *responses,
-	})
+		SweepRetries:      *retries,
+		Faults:            plan,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{Faults: plan})
+		if err != nil {
+			return fmt.Errorf("opening result store: %w", err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		log.Printf("servd: result store %s: %d records, %d segments (torn tail: %d bytes discarded)",
+			*storeDir, stats.Records, stats.Segments, stats.TruncatedBytes)
+		cfg.Store = st
+	}
+	srv := serve.New(cfg)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

@@ -8,9 +8,15 @@
 //	sweep -bench cm138a,cu,alu2 -modes full,input-only -seeds 1,2,3
 //	sweep -scenarios A -nosim -workers 4 -jsonl results.jsonl
 //	sweep -bench rca8 -modes full,delay-neutral -v
+//	sweep -store results.db                   # journal results; kill -9 it...
+//	sweep -store results.db -resume           # ...and pick up where it died
 //
 // Results are deterministic for a given flag set regardless of -workers.
 // Ctrl-C cancels queued jobs; finished rows already streamed stand.
+// With -store, finished jobs also persist in a crash-safe journal, and
+// -resume replays them instead of recomputing — the combined output is
+// identical (modulo timing fields) to an uninterrupted run. See
+// docs/resume.md.
 package main
 
 import (
@@ -23,10 +29,12 @@ import (
 	"strings"
 
 	"repro/internal/expt"
+	"repro/internal/faults"
 	"repro/internal/mcnc"
 	"repro/internal/reorder"
 	"repro/internal/sim"
 	"repro/internal/stoch"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -55,6 +63,12 @@ func run() error {
 		vectors   = flag.Int("vectors", 0, "Monte Carlo vector lanes for bit-parallel simulation, 1..64 (0 = 64)")
 		verbose   = flag.Bool("v", false, "print the per-job table, not only the aggregates")
 		list      = flag.Bool("list", false, "print the planned jobs and exit")
+		storeDir  = flag.String("store", "", "journal finished jobs into this content-addressed result store directory")
+		resume    = flag.Bool("resume", false, "replay jobs already in -store instead of recomputing them")
+		retries   = flag.Int("retries", 2, "per-job retry budget for transient failures")
+		backoff   = flag.Duration("retry-backoff", 0, "base backoff between retries (default 50ms, doubled per attempt)")
+		faultSpec = flag.String("fault-spec", "", "TESTING ONLY: deterministic fault-injection spec, e.g. error=0.2,panic=0.1,torn=0.05")
+		faultSeed = flag.Int64("fault-seed", 1, "TESTING ONLY: seed for -fault-spec")
 	)
 	flag.Parse()
 
@@ -139,6 +153,32 @@ func run() error {
 		opt.Expt.SimVectors = *vectors
 	}
 
+	if *retries < 0 {
+		return fmt.Errorf("-retries %d is negative", *retries)
+	}
+	opt.Retries = *retries
+	opt.RetryBackoff = *backoff
+	plan, err := faults.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		return err
+	}
+	opt.Faults = plan
+	if *resume && *storeDir == "" {
+		return fmt.Errorf("-resume requires -store")
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{Faults: plan})
+		if err != nil {
+			return fmt.Errorf("opening result store: %w", err)
+		}
+		defer st.Close()
+		if tb := st.Stats().TruncatedBytes; tb > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: store recovered a torn tail (%d bytes discarded)\n", tb)
+		}
+		opt.Store = st
+		opt.Resume = *resume
+	}
+
 	jobs := sweep.Jobs(opt)
 	if *list {
 		for _, j := range jobs {
@@ -195,8 +235,17 @@ func run() error {
 	}
 	fmt.Printf("aggregates (M: model reduction, S: simulated reduction, D: delay increase)\n\n")
 	fmt.Print(s.AggregateTable())
+	if s.Resumed > 0 || s.Retried > 0 || s.StoreErrors > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d resumed from store, %d retries, %d store errors\n",
+			s.Resumed, s.Retried, s.StoreErrors)
+	}
 	if s.Failed > 0 {
-		return fmt.Errorf("%d of %d jobs failed (see table)", s.Failed, len(s.Results))
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d jobs failed:\n", s.Failed, len(s.Results))
+		for _, f := range s.Failures {
+			fmt.Fprintf(os.Stderr, "  job %d %s sc=%s mode=%s seed=%d: %s after %d attempt(s): %s\n",
+				f.Index, f.Benchmark, f.Scenario, f.Mode, f.Seed, f.Kind, f.Attempts, f.Error)
+		}
+		return fmt.Errorf("%d of %d jobs failed", s.Failed, len(s.Results))
 	}
 	p := expt.Paper()
 	for _, a := range s.Aggregates {

@@ -216,3 +216,62 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		t.Fatalf("len %d exceeds capacity 8", st.Len)
 	}
 }
+
+// TestErrorPropagatesToCoalescedWaiters pins the retry-after-error
+// contract under concurrency: when a compute errors while N-1 callers
+// are coalesced onto its flight, every waiter receives that error, the
+// entry is absent afterwards, and the next Get retries (and caches).
+func TestErrorPropagatesToCoalescedWaiters(t *testing.T) {
+	const waiters = 16
+	c := New[string, int](4)
+	boom := errors.New("boom")
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	compute := func() (int, error) {
+		computes.Add(1)
+		close(entered)
+		<-release
+		return 0, boom
+	}
+
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, errs[0] = c.Get("k", compute) }()
+	<-entered
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); _, errs[i] = c.Get("k", compute) }(i)
+	}
+	for c.Stats().Coalesced < waiters-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d got %v, want boom", i, err)
+		}
+	}
+	if _, ok := c.Peek("k"); ok {
+		t.Fatal("errored entry present in cache")
+	}
+	if st := c.Stats(); st.Len != 0 {
+		t.Fatalf("len = %d after error, want 0", st.Len)
+	}
+	// The failed key retries cleanly and the success is cached.
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if v, err := c.Get("k", func() (int, error) { calls++; return 7, nil }); err != nil || v != 7 {
+			t.Fatalf("retry Get #%d = (%v, %v)", i, v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("retry computed %d times, want 1 (success cached)", calls)
+	}
+}

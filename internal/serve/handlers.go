@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/netlist"
 	"repro/internal/reorder"
 	"repro/internal/sim"
@@ -494,27 +495,46 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	fw := &flushWriter{w: w}
+	fw := &flushWriter{w: w, faults: s.cfg.Faults}
 	opt.Stream = fw
+	opt.Store = s.cfg.Store
+	opt.Resume = s.cfg.Store != nil
+	opt.Retries = s.cfg.SweepRetries
+	opt.Faults = s.cfg.Faults
 	summary, err := sweep.Run(r.Context(), opt)
 	enc := json.NewEncoder(fw)
 	if err != nil {
-		// The stream may be mid-flight: convey the failure in-band.
+		// The stream may be mid-flight: convey the failure in-band. The
+		// error line bypasses fault injection — it must always land.
+		fw.faults = nil
 		enc.Encode(map[string]string{"error": err.Error()})
 		return
 	}
+	s.metrics.sweepJobs.Add(uint64(len(summary.Results)))
+	s.metrics.sweepRetried.Add(uint64(summary.Retried))
+	s.metrics.sweepResumed.Add(uint64(summary.Resumed))
+	s.metrics.sweepFailed.Add(uint64(summary.Failed))
 	enc.Encode(map[string]sweepSummaryLine{
 		"summary": {Failed: summary.Failed, Aggregates: summary.Aggregates},
 	})
 }
 
 // flushWriter flushes after every write so JSONL lines reach the client
-// as jobs finish.
+// as jobs finish. It carries the fault-injection site for the response
+// stream: a scheduled Error fails the write as a broken client
+// connection would, which must surface as an in-band error line, not a
+// wedged stream.
 type flushWriter struct {
-	w http.ResponseWriter
+	w      http.ResponseWriter
+	faults *faults.Plan
+	writes int
 }
 
 func (fw *flushWriter) Write(b []byte) (int, error) {
+	fw.writes++
+	if fw.faults.Decide("serve/sweep-stream", strconv.Itoa(fw.writes), 1) == faults.Error {
+		return 0, &faults.InjectedError{Site: "serve/sweep-stream", Key: strconv.Itoa(fw.writes), Attempt: 1}
+	}
 	n, err := fw.w.Write(b)
 	if f, ok := fw.w.(http.Flusher); ok {
 		f.Flush()

@@ -17,6 +17,12 @@ type metrics struct {
 	mu       sync.Mutex
 	requests map[requestKey]uint64
 	shed     atomic.Uint64
+
+	// Sweep durability counters, accumulated per completed /v1/sweep.
+	sweepJobs    atomic.Uint64 // job results delivered (computed or resumed)
+	sweepRetried atomic.Uint64 // extra attempts spent on transient failures
+	sweepResumed atomic.Uint64 // jobs replayed from the result store
+	sweepFailed  atomic.Uint64 // jobs that exhausted retries
 }
 
 type requestKey struct {
@@ -107,4 +113,30 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# HELP servd_shed_total Requests rejected with 429 because the queue was full.")
 	fmt.Fprintln(w, "# TYPE servd_shed_total counter")
 	fmt.Fprintf(w, "servd_shed_total %d\n", s.metrics.shed.Load())
+
+	fmt.Fprintln(w, "# HELP servd_sweep_jobs_total Sweep job results delivered (computed or resumed).")
+	fmt.Fprintln(w, "# TYPE servd_sweep_jobs_total counter")
+	fmt.Fprintf(w, "servd_sweep_jobs_total %d\n", s.metrics.sweepJobs.Load())
+	fmt.Fprintln(w, "# HELP servd_sweep_jobs_retried_total Extra sweep job attempts spent on transient failures.")
+	fmt.Fprintln(w, "# TYPE servd_sweep_jobs_retried_total counter")
+	fmt.Fprintf(w, "servd_sweep_jobs_retried_total %d\n", s.metrics.sweepRetried.Load())
+	fmt.Fprintln(w, "# HELP servd_sweep_jobs_resumed_total Sweep jobs replayed from the result store instead of recomputed.")
+	fmt.Fprintln(w, "# TYPE servd_sweep_jobs_resumed_total counter")
+	fmt.Fprintf(w, "servd_sweep_jobs_resumed_total %d\n", s.metrics.sweepResumed.Load())
+	fmt.Fprintln(w, "# HELP servd_sweep_jobs_failed_total Sweep jobs that exhausted their retry budget.")
+	fmt.Fprintln(w, "# TYPE servd_sweep_jobs_failed_total counter")
+	fmt.Fprintf(w, "servd_sweep_jobs_failed_total %d\n", s.metrics.sweepFailed.Load())
+
+	if st := s.cfg.Store; st != nil {
+		stats := st.Stats()
+		fmt.Fprintln(w, "# HELP servd_store_records Distinct results in the result store.")
+		fmt.Fprintln(w, "# TYPE servd_store_records gauge")
+		fmt.Fprintf(w, "servd_store_records %d\n", stats.Records)
+		fmt.Fprintln(w, "# HELP servd_store_appends_total Records journaled since the store opened.")
+		fmt.Fprintln(w, "# TYPE servd_store_appends_total counter")
+		fmt.Fprintf(w, "servd_store_appends_total %d\n", stats.Appends)
+		fmt.Fprintln(w, "# HELP servd_store_segments Journal segments on disk.")
+		fmt.Fprintln(w, "# TYPE servd_store_segments gauge")
+		fmt.Fprintf(w, "servd_store_segments %d\n", stats.Segments)
+	}
 }

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// postSweep POSTs a sweep request and returns the trimmed JSONL lines.
+func postSweep(t *testing.T, url, body string) []string {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	return strings.Split(strings.TrimSpace(readAll(t, resp.Body)), "\n")
+}
+
+// normalizeLines strips the volatile elapsed_ms field and sorts, so
+// streams from different runs compare byte-for-byte.
+func normalizeLines(lines []string) []string {
+	out := make([]string, 0, len(lines))
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err == nil {
+			delete(m, "elapsed_ms")
+			b, _ := json.Marshal(m)
+			l = string(b)
+		}
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// metricValue extracts a single un-labeled metric value from /metrics
+// output.
+func metricValue(t *testing.T, metrics, name string) int {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.Atoi(rest)
+			if err != nil {
+				t.Fatalf("metric %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s absent:\n%s", name, metrics)
+	return 0
+}
+
+// TestSweepResumeAcrossRequestsAndRestart: with a store configured, an
+// idempotent re-POST of the same sweep — on the same server and on a
+// fresh server over the same journal, as after a crash — replays every
+// job from the store, streams identical results, and recomputes
+// nothing.
+func TestSweepResumeAcrossRequestsAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, Store: st})
+	ts := httptest.NewServer(srv)
+
+	const req = `{"benchmarks":["c17","rca4"],"scenarios":["A"],"seeds":[1,2]}`
+	first := postSweep(t, ts.URL, req)
+	if len(first) != 5 { // 4 jobs + summary
+		t.Fatalf("first sweep streamed %d lines, want 5: %q", len(first), first)
+	}
+	appends := st.Stats().Appends
+	if appends != 4 {
+		t.Fatalf("journaled %d records for 4 jobs", appends)
+	}
+
+	second := postSweep(t, ts.URL, req)
+	if st.Stats().Appends != appends {
+		t.Fatalf("re-POST appended %d new records", st.Stats().Appends-appends)
+	}
+	if got, want := normalizeLines(second), normalizeLines(first); !equalStrings(got, want) {
+		t.Fatalf("re-POST stream diverged:\n%q\nvs\n%q", got, want)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp.Body)
+	resp.Body.Close()
+	if got := metricValue(t, metrics, "servd_sweep_jobs_total"); got != 8 {
+		t.Fatalf("servd_sweep_jobs_total = %d, want 8", got)
+	}
+	if got := metricValue(t, metrics, "servd_sweep_jobs_resumed_total"); got != 4 {
+		t.Fatalf("servd_sweep_jobs_resumed_total = %d, want 4", got)
+	}
+	if got := metricValue(t, metrics, "servd_sweep_jobs_failed_total"); got != 0 {
+		t.Fatalf("servd_sweep_jobs_failed_total = %d, want 0", got)
+	}
+	if got := metricValue(t, metrics, "servd_store_records"); got != 4 {
+		t.Fatalf("servd_store_records = %d, want 4", got)
+	}
+	ts.Close()
+	st.Close()
+
+	// "Restart": a fresh server over a reopened journal serves the sweep
+	// warm.
+	st, err = store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts = httptest.NewServer(New(Config{Workers: 2, Store: st}))
+	defer ts.Close()
+	third := postSweep(t, ts.URL, req)
+	if st.Stats().Appends != 0 {
+		t.Fatalf("post-restart sweep recomputed %d jobs", st.Stats().Appends)
+	}
+	if got, want := normalizeLines(third), normalizeLines(first); !equalStrings(got, want) {
+		t.Fatalf("post-restart stream diverged:\n%q\nvs\n%q", got, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSweepStreamErrorInBand pins the JSONL error path: when a stream
+// write fails mid-flight (injected at the serve/sweep-stream fault
+// site), the handler delivers a final in-band {"error":...} line before
+// closing — clients never see a silently truncated stream.
+func TestSweepStreamErrorInBand(t *testing.T) {
+	// Find a seed whose first stream-write failure lands mid-stream
+	// (writes 2..4 of the 4 job lines), so lines genuinely precede it.
+	var plan *faults.Plan
+	failAt := 0
+	for seed := int64(1); seed < 200 && plan == nil; seed++ {
+		p, err := faults.Parse("error=0.25", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 1; n <= 4; n++ {
+			if p.Decide("serve/sweep-stream", strconv.Itoa(n), 1) == faults.Error {
+				if n >= 2 {
+					plan, failAt = p, n
+				}
+				break
+			}
+		}
+	}
+	if plan == nil {
+		t.Fatal("no seed under 200 fails writes 2..4 at rate 0.25 — rates changed?")
+	}
+
+	srv := New(Config{Workers: 2, Faults: plan})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	lines := postSweep(t, ts.URL, `{"benchmarks":["c17"],"scenarios":["A"],"seeds":[1,2,3,4]}`)
+
+	if len(lines) != failAt {
+		t.Fatalf("got %d lines, want %d (%d intact + error): %q", len(lines), failAt, failAt-1, lines)
+	}
+	for _, l := range lines[:failAt-1] {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil || m["benchmark"] == nil {
+			t.Fatalf("pre-error line not a result: %q (%v)", l, err)
+		}
+	}
+	var errLine map[string]string
+	if err := json.Unmarshal([]byte(lines[failAt-1]), &errLine); err != nil {
+		t.Fatalf("final line not JSON: %q (%v)", lines[failAt-1], err)
+	}
+	if msg, ok := errLine["error"]; !ok || !strings.Contains(msg, "injected") {
+		t.Fatalf("final line is not the in-band injected error: %q", lines[failAt-1])
+	}
+}
+
+// TestSweepChaosRetriesRecover: with job-level fault injection and a
+// retry budget, /v1/sweep completes cleanly and reports the retries in
+// /metrics.
+func TestSweepChaosRetriesRecover(t *testing.T) {
+	// One plan drives both the job site and the stream site, so search
+	// for a seed that (a) spares every stream write — the response must
+	// survive — (b) errors at least one job's first attempt, and
+	// (c) lets every job recover within the retry budget.
+	tmp := New(Config{Workers: 2})
+	req := &sweepRequest{Benchmarks: []string{"c17", "rca4"}, Scenarios: []string{"A"}, Seeds: []int64{1, 2}}
+	opt, err := req.toOptions(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, j := range sweep.Jobs(opt) {
+		keys = append(keys, j.StoreKey(opt))
+	}
+	var plan *faults.Plan
+search:
+	for seed := int64(1); seed < 1000; seed++ {
+		p, err := faults.Parse("error=0.4", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 1; n <= len(keys)+2; n++ {
+			if p.Decide("serve/sweep-stream", strconv.Itoa(n), 1) != faults.None {
+				continue search
+			}
+		}
+		hit := false
+		for _, k := range keys {
+			recovered := false
+			for a := 1; a <= 9; a++ {
+				if p.Decide("sweep/job", k, a) != faults.Error {
+					recovered = true
+					break
+				}
+				hit = true
+			}
+			if !recovered {
+				continue search
+			}
+		}
+		if hit {
+			plan = p
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatal("no seed under 1000 satisfies the chaos schedule — did site names change?")
+	}
+	srv := New(Config{Workers: 2, Faults: plan, SweepRetries: 8})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	lines := postSweep(t, ts.URL, `{"benchmarks":["c17","rca4"],"scenarios":["A"],"seeds":[1,2]}`)
+	var last map[string]sweepSummaryLine
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("summary line: %v (%q)", err, lines[len(lines)-1])
+	}
+	if s, ok := last["summary"]; !ok || s.Failed != 0 {
+		t.Fatalf("chaos sweep failed jobs: %+v", last)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp.Body)
+	resp.Body.Close()
+	if got := metricValue(t, metrics, "servd_sweep_jobs_retried_total"); got == 0 {
+		t.Fatal("servd_sweep_jobs_retried_total = 0 under error=0.4")
+	}
+	if got := metricValue(t, metrics, "servd_sweep_jobs_failed_total"); got != 0 {
+		t.Fatalf("servd_sweep_jobs_failed_total = %d, want 0", got)
+	}
+}

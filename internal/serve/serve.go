@@ -22,7 +22,13 @@
 //     while queued and by the streaming sweep;
 //   - observability: /healthz, and Prometheus-style text counters at
 //     /metrics (requests by endpoint and code, cache hits/misses/
-//     coalesced/evictions, queue depth, shed count).
+//     coalesced/evictions, queue depth, shed count, sweep job/retry/
+//     resume/failure counts, result-store stats);
+//   - durable sweeps: with Config.Store set, /v1/sweep journals every
+//     successful job into the content-addressed result store and
+//     resumes from it, so an idempotent re-POST of the same sweep —
+//     including after a server crash — replays warm results instead of
+//     recomputing (see docs/resume.md).
 //
 // Endpoints: POST /v1/analyze, /v1/optimize, /v1/simulate (JSON in/out)
 // and POST /v1/sweep (streaming JSONL). See docs/api.md for the wire
@@ -42,8 +48,10 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/faults"
 	"repro/internal/library"
 	"repro/internal/serve/cache"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -67,6 +75,20 @@ type Config struct {
 	CircuitCacheSize  int
 	ProgramCacheSize  int
 	ResponseCacheSize int
+
+	// Store, when set, journals every successful sweep job and resumes
+	// /v1/sweep requests from it: re-POSTing a sweep whose jobs are
+	// already journaled replays them without recomputing, across server
+	// restarts. The server does not own the store; the caller opens and
+	// closes it (cmd/servd does both).
+	Store *store.Store
+	// SweepRetries is the per-job retry budget for transient sweep
+	// failures (0: no retries).
+	SweepRetries int
+	// Faults, when non-nil, threads a deterministic fault-injection plan
+	// through sweep jobs and the response stream. Testing only; nil in
+	// production.
+	Faults *faults.Plan
 
 	// slowdown artificially lengthens every computed (non-cached) job.
 	// Test hook: makes queue saturation and coalescing deterministic.

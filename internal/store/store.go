@@ -1,0 +1,414 @@
+// Package store is the durable half of crash-safe sweeps: a
+// content-addressed, append-only result store. Each record maps an
+// opaque key — by convention the SHA-256 of a job's full content
+// identity (benchmark source hash, scenario, mode, seed, engine
+// parameters; see sweep.Job.StoreKey) — to the bytes of its result, so
+// that a sweep killed at job 40,000 of 50,000 resumes by replaying
+// stored records instead of recomputing them, and an identical sweep
+// re-POSTed to the service is answered from the journal.
+//
+// # Layout and framing
+//
+// A store is a directory of journal segments, journal-NNNNNNNN.seg,
+// written strictly append-only and rotated at Options.SegmentBytes.
+// Every record is one atomic frame:
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//	payload = u32 key length | key bytes | value bytes
+//
+// all little-endian, written with a single Write call. Appends are
+// therefore all-or-torn: a crash mid-write leaves a frame whose length
+// header, payload size, or checksum fails to verify. Open detects the
+// torn tail, truncates the segment back to the last whole record, and
+// reports the dropped bytes in Stats — a torn write is detected and
+// discarded, never silently ingested. Records never span segments.
+//
+// Duplicate keys are legal (re-running a sweep re-appends); the last
+// record for a key wins, which is safe because keys are content
+// addresses — two records with one key hold byte-identical results
+// modulo timing fields.
+//
+// # Crash-consistency model
+//
+// The journal survives process death (SIGKILL included) at any byte:
+// the OS page cache holds completed writes after the process dies, and
+// an interrupted write is repaired at the next Open. Options.Sync adds
+// an fsync per append for machine-crash durability at a large
+// throughput cost; sweeps whose jobs cost milliseconds can afford it,
+// default is off.
+//
+// For tests, the writer honors a faults.Plan: a TornWrite decision
+// writes a seeded prefix of the frame and then recovers in place
+// (truncating back to the pre-write offset — exactly what reopening
+// after a crash at that byte would do) before returning a retryable
+// error, so chaos suites exercise the recovery path on every injected
+// tear without killing the process.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+)
+
+const (
+	frameHeaderSize = 8
+	// maxRecordBytes guards replay against a corrupt length header
+	// committing us to a multi-gigabyte allocation.
+	maxRecordBytes = 16 << 20
+
+	segPrefix = "journal-"
+	segSuffix = ".seg"
+
+	// DefaultSegmentBytes rotates segments at 64 MiB.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options configures Open. The zero value is production-ready.
+type Options struct {
+	// SegmentBytes rotates the active segment once it reaches this size
+	// (0: DefaultSegmentBytes). Rotation bounds the cost of replaying or
+	// repairing any single file.
+	SegmentBytes int64
+	// Sync fsyncs after every append: durable against machine crash, not
+	// just process death. Off by default.
+	Sync bool
+	// Faults optionally injects deterministic write faults (torn writes,
+	// errors, delays) for chaos tests. Nil: off.
+	Faults *faults.Plan
+}
+
+// Stats is a point-in-time snapshot of a store's counters.
+type Stats struct {
+	Records        int    // distinct keys held
+	Appends        uint64 // records appended this process
+	Segments       int    // journal segments on disk
+	TruncatedBytes int64  // torn-tail bytes discarded at Open
+	TornWrites     uint64 // injected torn writes repaired in place
+}
+
+// Store is a content-addressed append-only result store. All methods
+// are safe for concurrent use; appends serialize internally.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	opt     Options
+	f       *os.File // active segment, opened append-only
+	segIdx  int      // ordinal of the active segment
+	segSize int64
+	nseg    int
+	index   map[string][]byte
+	putSeq  map[string]int // per-key append attempts, keys fault decisions
+	appends uint64
+	torn    uint64
+	trunc   int64
+	closed  bool
+}
+
+// Open creates or reopens the store rooted at dir, replaying every
+// segment into the in-memory index and truncating any torn tail left by
+// a crash. The directory is created if missing.
+func Open(dir string, opt Options) (*Store, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:    dir,
+		opt:    opt,
+		index:  make(map[string][]byte),
+		putSeq: make(map[string]int),
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range segs {
+		if err := s.replay(filepath.Join(dir, segName(seg))); err != nil {
+			return nil, err
+		}
+	}
+	s.segIdx = 0
+	if n := len(segs); n > 0 {
+		s.segIdx = segs[n-1]
+	}
+	s.nseg = len(segs)
+	if s.nseg == 0 {
+		s.nseg = 1 // openSegment creates journal-00000000.seg
+	}
+	if err := s.openSegment(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// listSegments returns the segment ordinals present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
+	}
+	var segs []int
+	for _, e := range entries {
+		name := e.Name()
+		var n int
+		if _, err := fmt.Sscanf(name, segPrefix+"%08d"+segSuffix, &n); err == nil && segName(n) == name {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+func segName(n int) string { return fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix) }
+
+// replay loads one segment's records into the index, truncating the
+// file at the first frame that fails to verify (short header, short
+// payload, bad checksum, or malformed key framing — all the shapes a
+// write torn by a crash can take).
+func (s *Store) replay(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: reading segment: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, ok := decodeFrame(data[off:])
+		if !ok {
+			break
+		}
+		s.index[rec.key] = rec.val
+		off += n
+	}
+	if off < len(data) {
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+		s.trunc += int64(len(data) - off)
+	}
+	return nil
+}
+
+type record struct {
+	key string
+	val []byte
+}
+
+// decodeFrame verifies and decodes the frame at the head of data,
+// returning its record, its full framed length, and whether it parsed.
+func decodeFrame(data []byte) (record, int, bool) {
+	if len(data) < frameHeaderSize {
+		return record{}, 0, false
+	}
+	plen := binary.LittleEndian.Uint32(data)
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if plen < 4 || plen > maxRecordBytes || frameHeaderSize+int(plen) > len(data) {
+		return record{}, 0, false
+	}
+	payload := data[frameHeaderSize : frameHeaderSize+int(plen)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return record{}, 0, false
+	}
+	klen := binary.LittleEndian.Uint32(payload)
+	if 4+int(klen) > len(payload) {
+		return record{}, 0, false
+	}
+	key := string(payload[4 : 4+klen])
+	val := append([]byte(nil), payload[4+klen:]...)
+	return record{key: key, val: val}, frameHeaderSize + int(plen), true
+}
+
+// encodeFrame builds the atomic on-disk frame for one record.
+func encodeFrame(key string, value []byte) []byte {
+	plen := 4 + len(key) + len(value)
+	buf := make([]byte, frameHeaderSize+plen)
+	binary.LittleEndian.PutUint32(buf, uint32(plen))
+	payload := buf[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(payload, uint32(len(key)))
+	copy(payload[4:], key)
+	copy(payload[4+len(key):], value)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// openSegment opens the active segment append-only, creating it if
+// needed. Caller holds s.mu or has exclusive access.
+func (s *Store) openSegment() error {
+	path := filepath.Join(s.dir, segName(s.segIdx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: stat segment: %w", err)
+	}
+	s.f = f
+	s.segSize = st.Size()
+	return nil
+}
+
+// Put appends a record. The frame reaches the journal in one write; on
+// an injected torn write the store repairs itself (truncates back to
+// the last whole record) and returns a retryable error, mirroring what
+// crash-then-reopen would leave behind.
+func (s *Store) Put(key string, value []byte) error {
+	if len(key) == 0 {
+		return errors.New("store: empty key")
+	}
+	if 4+len(key)+len(value) > maxRecordBytes {
+		return fmt.Errorf("store: record for key %.32s... exceeds %d bytes", key, maxRecordBytes)
+	}
+	frame := encodeFrame(key, value)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	attempt := s.putSeq[key] + 1
+	s.putSeq[key] = attempt
+
+	switch s.opt.Faults.Decide("store/put", key, attempt) {
+	case faults.TornWrite:
+		cut := s.opt.Faults.TearAt("store/put", key, attempt, len(frame))
+		if _, err := s.f.Write(frame[:cut]); err != nil {
+			return fmt.Errorf("store: append: %w", err)
+		}
+		// Simulated crash recovery: discard the torn frame exactly as
+		// replay would after a real crash at this byte.
+		if err := s.f.Truncate(s.segSize); err != nil {
+			return fmt.Errorf("store: repairing torn write: %w", err)
+		}
+		s.torn++
+		return fmt.Errorf("store: torn write: %w",
+			&faults.InjectedError{Site: "store/put", Key: key, Attempt: attempt})
+	case faults.Error, faults.Panic:
+		// The writer never panics on schedule — an error exercises the
+		// same caller retry path without needing recovery here.
+		return fmt.Errorf("store: append failed: %w",
+			&faults.InjectedError{Site: "store/put", Key: key, Attempt: attempt})
+	case faults.Delay:
+		d := s.opt.Faults.DelayFor("store/put", key, attempt)
+		s.mu.Unlock()
+		time.Sleep(d)
+		s.mu.Lock()
+		if s.closed {
+			return ErrClosed
+		}
+	}
+
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	s.segSize += int64(len(frame))
+	if s.opt.Sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	s.index[key] = append([]byte(nil), value...)
+	s.appends++
+	if s.segSize >= s.opt.SegmentBytes {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotate closes the active segment and starts the next. Caller holds
+// s.mu.
+func (s *Store) rotate() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: closing segment: %w", err)
+	}
+	s.segIdx++
+	s.nseg++
+	return s.openSegment()
+}
+
+// Get returns a copy of the stored value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Has reports whether key is stored.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Len returns the number of distinct keys held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Keys returns the stored keys in unspecified order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Records:        len(s.index),
+		Appends:        s.appends,
+		Segments:       s.nseg,
+		TruncatedBytes: s.trunc,
+		TornWrites:     s.torn,
+	}
+}
+
+// Close flushes and closes the active segment. The store rejects
+// further Puts; Gets keep serving the in-memory index.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.opt.Sync {
+		if err := s.f.Sync(); err != nil {
+			s.f.Close()
+			return fmt.Errorf("store: sync on close: %w", err)
+		}
+	}
+	return s.f.Close()
+}

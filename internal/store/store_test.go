@@ -1,0 +1,345 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPutGetReopen: records survive close + reopen byte-for-byte.
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	want := map[string][]byte{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := []byte(fmt.Sprintf(`{"i":%d,"data":"%030d"}`, i, i))
+		want[k] = v
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(s *Store) {
+		t.Helper()
+		if s.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+		}
+		for k, v := range want {
+			got, ok := s.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				t.Fatalf("Get(%s) = (%q, %v), want %q", k, got, ok, v)
+			}
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check(mustOpen(t, dir, Options{}))
+}
+
+// TestLastWriteWins: duplicate keys resolve to the most recent record,
+// both live and across reopen.
+func TestLastWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := s.Get("k"); string(v) != "v2" {
+		t.Fatalf("live Get = %q, want v2", v)
+	}
+	s.Close()
+	s = mustOpen(t, dir, Options{})
+	if v, _ := s.Get("k"); string(v) != "v2" {
+		t.Fatalf("reopened Get = %q, want v2", v)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestTornTailTruncatedAtEveryOffset is the crash-framing property test:
+// for EVERY byte offset into a journal, truncating the file there and
+// reopening recovers a clean prefix of whole records — no error, no
+// partial record, no corruption of earlier records — and appending
+// afterward works.
+func TestTornTailTruncatedAtEveryOffset(t *testing.T) {
+	// Build a reference journal of a few records.
+	ref := t.TempDir()
+	s := mustOpen(t, ref, Options{})
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	var offsets []int64 // frame boundaries, for prefix verification
+	path := filepath.Join(ref, segName(0))
+	for _, k := range keys {
+		if err := s.Put(k, []byte("value-of-"+k)); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, st.Size())
+	}
+	s.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recordsAt := func(cut int64) int {
+		n := 0
+		for _, off := range offsets {
+			if off <= cut {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := int64(0); cut <= int64(len(data)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: Open failed: %v", cut, err)
+		}
+		wantRecords := recordsAt(cut)
+		if s.Len() != wantRecords {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, s.Len(), wantRecords)
+		}
+		for i := 0; i < wantRecords; i++ {
+			v, ok := s.Get(keys[i])
+			if !ok || string(v) != "value-of-"+keys[i] {
+				t.Fatalf("cut %d: record %s = (%q, %v)", cut, keys[i], v, ok)
+			}
+		}
+		wantTrunc := cut
+		if wantRecords > 0 {
+			wantTrunc = cut - offsets[wantRecords-1]
+		}
+		if s.Stats().TruncatedBytes != wantTrunc {
+			t.Fatalf("cut %d: TruncatedBytes = %d, want %d", cut, s.Stats().TruncatedBytes, wantTrunc)
+		}
+		// The journal must accept appends after repair.
+		if err := s.Put("post-crash", []byte("ok")); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		s.Close()
+		s = mustOpen(t, dir, Options{})
+		if v, ok := s.Get("post-crash"); !ok || string(v) != "ok" {
+			t.Fatalf("cut %d: post-repair record lost: (%q, %v)", cut, v, ok)
+		}
+		s.Close()
+	}
+}
+
+// TestCorruptChecksumTruncated: flipped payload bytes (not just short
+// tails) are detected by the CRC and dropped with everything after them.
+func TestCorruptChecksumTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("vvvvvvvv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	path := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the second record.
+	frame := len(data) / 3
+	data[frame+frameHeaderSize+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{})
+	if s.Len() != 1 {
+		t.Fatalf("recovered %d records after mid-file corruption, want 1", s.Len())
+	}
+	if !s.Has("k0") || s.Has("k1") || s.Has("k2") {
+		t.Fatalf("wrong surviving records: %v", s.Keys())
+	}
+}
+
+// TestSegmentRotation: appends spill into new segments at the size
+// threshold, and reopen replays all of them.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 40; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), bytes.Repeat([]byte("x"), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Segments < 3 {
+		t.Fatalf("only %d segments after 40×~50-byte records at 256-byte rotation", st.Segments)
+	}
+	s.Close()
+	s = mustOpen(t, dir, Options{SegmentBytes: 256})
+	if s.Len() != 40 {
+		t.Fatalf("reopened Len = %d, want 40", s.Len())
+	}
+	s.Close()
+}
+
+// TestInjectedTornWriteRepairsInPlace: a torn-write fault returns a
+// retryable error, leaves the journal exactly as it was (verified by
+// reopen), and the retry succeeds.
+func TestInjectedTornWriteRepairsInPlace(t *testing.T) {
+	plan, err := faults.New(11, map[faults.Kind]float64{faults.TornWrite: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{}) // no faults: seed one good record
+	if err := s.Put("good", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s = mustOpen(t, dir, Options{Faults: plan})
+	err = s.Put("victim", []byte("torn"))
+	if err == nil || !faults.Retryable(err) {
+		t.Fatalf("torn Put returned %v, want retryable error", err)
+	}
+	if s.Has("victim") {
+		t.Fatal("torn record visible in index")
+	}
+	if s.Stats().TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", s.Stats().TornWrites)
+	}
+	// Attempt 2 draws fresh — with rate 1.0 it tears again, so model the
+	// caller's bounded retry against a mixed-rate plan instead.
+	s.Close()
+	mixed, err := faults.New(11, map[faults.Kind]float64{faults.TornWrite: 0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{Faults: mixed})
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("retry-%d", i)
+		var perr error
+		for a := 0; a < 8; a++ {
+			if perr = s.Put(k, []byte("v")); perr == nil {
+				break
+			}
+			if !faults.Retryable(perr) {
+				t.Fatalf("non-retryable Put error: %v", perr)
+			}
+		}
+		if perr != nil {
+			t.Fatalf("key %s failed 8 straight injected tears at rate 0.5 (seeded, so this is a bug)", k)
+		}
+	}
+	s.Close()
+	// Reopen clean: every acknowledged record present, nothing torn.
+	s = mustOpen(t, dir, Options{})
+	if st := s.Stats(); st.TruncatedBytes != 0 {
+		t.Fatalf("journal had %d torn bytes after in-place repairs", st.TruncatedBytes)
+	}
+	if !s.Has("good") || s.Len() != 21 {
+		t.Fatalf("reopened store has %d records (good present: %v), want 21", s.Len(), s.Has("good"))
+	}
+	s.Close()
+}
+
+// TestConcurrentPutGet exercises the locking under the race detector.
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("w%d-i%d", w, i)
+				if err := s.Put(k, []byte(k)); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := s.Get(k); !ok || string(v) != k {
+					t.Errorf("Get(%s) = (%q, %v)", k, v, ok)
+					return
+				}
+				s.Len()
+				s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", s.Len())
+	}
+}
+
+// TestPutValidation: empty keys and closed stores are rejected.
+func TestPutValidation(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	s.Close()
+	if err := s.Put("k", []byte("v")); err != ErrClosed {
+		t.Fatalf("Put on closed store = %v, want ErrClosed", err)
+	}
+	// Gets keep serving after Close.
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("phantom record")
+	}
+}
+
+// TestGetReturnsCopy: mutating a returned value must not corrupt the
+// index.
+func TestGetReturnsCopy(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	if err := s.Put("k", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Get("k")
+	copy(v, "XXXXXXXX")
+	if got, _ := s.Get("k"); string(got) != "original" {
+		t.Fatalf("index corrupted through returned slice: %q", got)
+	}
+}
+
+// TestSyncOption: a sync store still round-trips (behavioral smoke; the
+// durability claim itself is not testable in-process).
+func TestSyncOption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Sync: true})
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{})
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("synced record lost: (%q, %v)", v, ok)
+	}
+	s.Close()
+}

@@ -22,7 +22,20 @@
 //   - streaming: each finished job is encoded as one JSON line to
 //     Options.Stream and/or handed to Options.OnResult, while Run's
 //     return value keeps the deterministic job order for the aggregate
-//     table.
+//     table;
+//   - durability: Options.Store journals every successful result into a
+//     content-addressed append-only store (internal/store) keyed by
+//     Job.StoreKey — a hash of the job's full content identity — and
+//     Options.Resume replays stored results instead of recomputing, so
+//     a sweep killed mid-run resumes byte-identically (modulo timing
+//     fields) to an uninterrupted run;
+//   - fault tolerance: every worker isolates job panics into structured
+//     failure records instead of killing the sweep, retries retryable
+//     failures with exponential backoff + seeded jitter
+//     (Options.Retries / Options.RetryBackoff), and reports the failure
+//     set in Summary.Failures. Options.Faults threads the deterministic
+//     chaos harness (internal/faults) through the workers and the store
+//     writer for the crash-safety test suites.
 //
 // The simulated S column follows Options.Expt.Sim: with the default
 // bit-parallel engine, zero-delay jobs run on the levelized compiled
@@ -35,6 +48,8 @@ package sweep
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -45,10 +60,12 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/expt"
+	"repro/internal/faults"
 	"repro/internal/library"
 	"repro/internal/mcnc"
 	"repro/internal/reorder"
 	"repro/internal/serve/cache"
+	"repro/internal/store"
 )
 
 // CircuitCache is the shared circuit store: parsed + technology-mapped
@@ -89,6 +106,38 @@ func (j Job) EffectiveSeed() int64 {
 	return int64(h.Sum64())
 }
 
+// identityVersion is baked into every StoreKey. Bump it whenever a
+// semantic change makes previously stored results stale (an engine fix,
+// a changed default) so old journals miss instead of serving wrong
+// bytes.
+const identityVersion = "v1"
+
+// StoreKey is the job's content address in a result store: the SHA-256
+// of everything its result is a pure function of — the benchmark's
+// source text (or its name, for synthesized stand-ins), the scenario,
+// mode and seed, and every engine parameter of opt that reaches the
+// computation. Job.Index is deliberately excluded: the same cell of a
+// differently-shaped sweep reuses its stored result.
+func (j Job) StoreKey(opt Options) string {
+	sum := sha256.Sum256([]byte(j.identity(opt)))
+	return hex.EncodeToString(sum[:])
+}
+
+// identity renders the canonical identity string StoreKey hashes.
+func (j Job) identity(opt Options) string {
+	benchID := j.Benchmark
+	if src, ok := mcnc.EmbeddedSource(j.Benchmark); ok {
+		srcSum := sha256.Sum256([]byte(src))
+		benchID = "sha256:" + hex.EncodeToString(srcSum[:])
+	}
+	e := opt.Expt
+	return fmt.Sprintf(
+		"%s|bench=%s|sc=%s|mode=%s|seed=%d|simulate=%t|sim=%+v|vectors=%d|horizonA=%g|cyclesB=%d|periodB=%g|maxDensA=%g|params=%+v|delay=%+v",
+		identityVersion, benchID, j.Scenario, j.Mode, j.Seed,
+		opt.Simulate, e.Sim, e.SimVectors, e.HorizonA, e.CyclesB, e.PeriodB, e.MaxDensA,
+		e.Params, e.Delay)
+}
+
 // Result is one finished job. It is self-describing (it repeats the job
 // coordinates) so a JSONL stream can be filtered and joined without
 // positional context.
@@ -107,6 +156,7 @@ type Result struct {
 	DelayInc   float64 `json:"delay_increase"`       // D column
 	ElapsedMS  float64 `json:"elapsed_ms,omitempty"` // wall time; not deterministic
 	Err        string  `json:"error,omitempty"`
+	FailKind   string  `json:"fail_kind,omitempty"` // "error" or "panic"; set with Err
 }
 
 // Options configures a sweep.
@@ -133,6 +183,32 @@ type Options struct {
 	// cache (the pre-service behavior). Results are identical either way
 	// — the cache only suppresses duplicate parse+map work.
 	Cache *CircuitCache
+
+	// Store optionally journals every successful result into a durable,
+	// content-addressed store as it completes (keyed by Job.StoreKey).
+	// Store writes never fail a job: a persistently failing append is
+	// counted in Summary.StoreErrors and the result stands.
+	Store *store.Store
+	// Resume replays results already present in Store — matched by
+	// content identity, so only jobs whose every relevant parameter is
+	// unchanged hit — re-emitting them into the stream/OnResult in job
+	// order before any computation starts. Requires Store.
+	Resume bool
+
+	// Retries bounds re-executions of a job after a retryable failure
+	// (an injected fault, or any error implementing Retryable() bool —
+	// business errors like an unknown benchmark never retry). 0: fail on
+	// the first error, the pre-durability behavior.
+	Retries int
+	// RetryBackoff is the base of the exponential backoff between
+	// attempts (doubled per retry, capped at 64×, with ±50% jitter
+	// seeded by the job key so schedules are deterministic). 0: 50ms.
+	RetryBackoff time.Duration
+
+	// Faults threads the deterministic fault-injection harness through
+	// this sweep's workers (site "sweep/job", keyed by Job.StoreKey and
+	// attempt). Nil — the production configuration — injects nothing.
+	Faults *faults.Plan
 
 	Stream   io.Writer    // optional: one JSON object per finished job
 	OnResult func(Result) // optional: called per finished job (serialized)
@@ -192,19 +268,52 @@ type Aggregate struct {
 	DelayInc float64 `json:"delay_increase"`
 }
 
+// FailureRecord is the structured account of one job that exhausted its
+// attempts. It repeats the job coordinates so failure sets can be
+// compared across runs (the chaos suite pins them as deterministic).
+type FailureRecord struct {
+	Index     int    `json:"index"`
+	Benchmark string `json:"benchmark"`
+	Scenario  string `json:"scenario"`
+	Mode      string `json:"mode"`
+	Seed      int64  `json:"seed"`
+	Kind      string `json:"kind"` // "error" or "panic"
+	Error     string `json:"error"`
+	Attempts  int    `json:"attempts"`
+}
+
 // Summary is a completed sweep: per-job results in deterministic job
-// order plus scenario × mode aggregates.
+// order plus scenario × mode aggregates and the fault-tolerance
+// accounting.
 type Summary struct {
 	Results    []Result
 	Aggregates []Aggregate
 	Failed     int // jobs that recorded an error
+	// Failures details every failed job, ordered by job index.
+	Failures []FailureRecord
+	// Retried counts re-execution attempts across all jobs (0 in a
+	// fault-free sweep).
+	Retried int
+	// Resumed counts jobs replayed from Options.Store instead of
+	// computed.
+	Resumed int
+	// StoreErrors counts results the journal failed to persist after
+	// bounded retries; the results themselves are unaffected.
+	StoreErrors int
 }
 
 // Run executes the sweep. It returns once every job has finished, or
 // early with ctx.Err() on cancellation (results already streamed stand).
-// Per-job failures do not abort the sweep; they are recorded in
-// Result.Err and counted in Summary.Failed.
+// Per-job failures — including isolated panics — do not abort the
+// sweep; they are recorded in Result.Err, detailed in Summary.Failures
+// and counted in Summary.Failed. With Options.Store set, every
+// successful result is journaled as it completes; with Options.Resume,
+// previously stored results are replayed (in job order, before any
+// computation) instead of recomputed.
 func Run(ctx context.Context, opt Options) (*Summary, error) {
+	if opt.Resume && opt.Store == nil {
+		return nil, fmt.Errorf("sweep: Options.Resume requires Options.Store")
+	}
 	jobs := Jobs(opt)
 	workers := opt.Workers
 	if workers < 1 {
@@ -223,6 +332,19 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 	defer cancel()
 
 	results := make([]Result, len(jobs))
+	attempts := make([]int, len(jobs)) // per-job executions; 0 = resumed
+	kinds := make([]string, len(jobs))
+	skip := make([]bool, len(jobs))
+
+	// Job content keys feed the store and the fault plan; both are off
+	// on the default path, so don't hash 50k identities for nothing.
+	keys := make([]string, len(jobs))
+	if opt.Store != nil || opt.Faults != nil {
+		for i, j := range jobs {
+			keys[i] = j.StoreKey(opt)
+		}
+	}
+
 	var emitMu sync.Mutex
 	var emitErr error
 	var enc *json.Encoder
@@ -243,6 +365,49 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 		}
 	}
 
+	// Resume pass: replay stored results before any worker starts, in
+	// deterministic job order. A record that fails to decode is treated
+	// as a miss and recomputed.
+	resumed := 0
+	if opt.Resume {
+		for i := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
+			data, ok := opt.Store.Get(keys[i])
+			if !ok {
+				continue
+			}
+			var r Result
+			if err := json.Unmarshal(data, &r); err != nil || r.Err != "" {
+				continue
+			}
+			r.Index = jobs[i].Index
+			results[i] = r
+			skip[i] = true
+			resumed++
+			emit(r)
+		}
+	}
+
+	var storeErrs int
+	var storeMu sync.Mutex
+	persist := func(key string, r Result) {
+		data, err := json.Marshal(r)
+		if err == nil {
+			for a := 0; a < 4; a++ {
+				if err = opt.Store.Put(key, data); err == nil || !faults.Retryable(err) {
+					break
+				}
+			}
+		}
+		if err != nil {
+			storeMu.Lock()
+			storeErrs++
+			storeMu.Unlock()
+		}
+	}
+
 	next := make(chan int)
 	var wg sync.WaitGroup
 	cc := opt.Cache
@@ -257,13 +422,20 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 				if ctx.Err() != nil {
 					continue // drain without working; Run reports the cause
 				}
-				results[i] = runJob(jobs[i], cc, opt)
-				emit(results[i])
+				res, att, kind := runJobRetry(ctx, jobs[i], keys[i], cc, opt)
+				results[i], attempts[i], kinds[i] = res, att, kind
+				if opt.Store != nil && res.Err == "" {
+					persist(keys[i], res)
+				}
+				emit(res)
 			}
 		}()
 	}
 dispatch:
 	for i := range jobs {
+		if skip[i] {
+			continue
+		}
 		select {
 		case next <- i:
 		case <-ctx.Done():
@@ -279,9 +451,114 @@ dispatch:
 		return nil, err
 	}
 
-	s := &Summary{Results: results}
+	s := &Summary{Results: results, Resumed: resumed, StoreErrors: storeErrs}
+	for i := range results {
+		if n := attempts[i]; n > 1 {
+			s.Retried += n - 1
+		}
+		if r := &results[i]; r.Err != "" {
+			kind := kinds[i]
+			if kind == "" {
+				kind = "error"
+			}
+			s.Failures = append(s.Failures, FailureRecord{
+				Index:     r.Index,
+				Benchmark: r.Benchmark,
+				Scenario:  r.Scenario,
+				Mode:      r.Mode,
+				Seed:      r.Seed,
+				Kind:      kind,
+				Error:     r.Err,
+				Attempts:  max(attempts[i], 1),
+			})
+		}
+	}
 	s.aggregate(opt)
 	return s, nil
+}
+
+// runJobRetry drives one job to success or a structured failure:
+// panic-isolated attempts, bounded retries for retryable errors, and
+// exponential backoff with seeded jitter between them. It returns the
+// final result (Err/FailKind set on failure), the number of attempts
+// executed, and the failure kind ("" on success).
+func runJobRetry(ctx context.Context, job Job, key string, cc *CircuitCache, opt Options) (Result, int, string) {
+	maxAttempts := opt.Retries + 1
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		res, err, kind := runJobAttempt(job, key, attempt, cc, opt)
+		if err == nil {
+			return res, attempt, ""
+		}
+		if attempt >= maxAttempts || !faults.Retryable(err) || ctx.Err() != nil {
+			res.Err = err.Error()
+			res.FailKind = kind
+			return res, attempt, kind
+		}
+		sleepBackoff(ctx, opt.RetryBackoff, key, attempt)
+	}
+}
+
+// sleepBackoff waits base×2^(attempt-1) (capped at 64×base) scaled by a
+// jitter in [0.5, 1.5) seeded from the job key — deterministic schedules
+// under test, decorrelated retry storms in production.
+func sleepBackoff(ctx context.Context, base time.Duration, key string, attempt int) {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	d := base << shift
+	h := fnv.New64a()
+	fmt.Fprintf(h, "backoff|%s|%d", key, attempt)
+	jitter := 0.5 + float64(h.Sum64()>>11)/float64(uint64(1)<<53)
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// runJobAttempt executes one attempt of a job with the worker's safety
+// gear on: scheduled faults fire first (site "sweep/job"), and any panic
+// — injected or real — is isolated into an error instead of unwinding
+// the worker. On failure the returned Result still carries the job
+// coordinates and elapsed time; the caller fills Err/FailKind.
+func runJobAttempt(job Job, key string, attempt int, cc *CircuitCache, opt Options) (res Result, err error, kind string) {
+	start := time.Now()
+	finish := func() {
+		res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			kind = "panic"
+			err = faults.PanicError(v)
+			finish()
+		}
+	}()
+	res = Result{
+		Index:     job.Index,
+		Benchmark: job.Benchmark,
+		Scenario:  job.Scenario.String(),
+		Mode:      job.Mode.String(),
+		Seed:      job.Seed,
+	}
+	if err = opt.Faults.Inject("sweep/job", key, attempt); err != nil {
+		finish()
+		return res, err, "error"
+	}
+	err = computeJob(job, cc, opt, &res)
+	finish()
+	if err != nil {
+		return res, err, "error"
+	}
+	return res, nil, ""
 }
 
 // aggregate folds the per-job results into scenario × mode means, in the
@@ -330,27 +607,15 @@ func loadCircuit(cc *CircuitCache, name string, lib *library.Library) (*circuit.
 	})
 }
 
-// runJob measures one cell of the cross product: best- and worst-power
-// reorderings under the job's mode, the model reduction between them,
-// optionally the switch-level-simulated reduction under identical
-// stimulus, and the delay increase of the power-optimal circuit.
-func runJob(job Job, cc *CircuitCache, opt Options) Result {
-	start := time.Now()
-	res := Result{
-		Index:     job.Index,
-		Benchmark: job.Benchmark,
-		Scenario:  job.Scenario.String(),
-		Mode:      job.Mode.String(),
-		Seed:      job.Seed,
-	}
-	fail := func(err error) Result {
-		res.Err = err.Error()
-		res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
-		return res
-	}
+// computeJob measures one cell of the cross product into res: best- and
+// worst-power reorderings under the job's mode, the model reduction
+// between them, optionally the switch-level-simulated reduction under
+// identical stimulus, and the delay increase of the power-optimal
+// circuit.
+func computeJob(job Job, cc *CircuitCache, opt Options, res *Result) error {
 	c, err := loadCircuit(cc, job.Benchmark, opt.Expt.Lib)
 	if err != nil {
-		return fail(err)
+		return err
 	}
 	res.Gates = len(c.Gates)
 
@@ -368,7 +633,7 @@ func runJob(job Job, cc *CircuitCache, opt Options) Result {
 	}
 	best, worst, err := reorder.BestAndWorst(c, pi, ro)
 	if err != nil {
-		return fail(err)
+		return err
 	}
 	res.Changed = best.GatesChanged
 	res.PowerBest = best.PowerAfter
@@ -380,15 +645,11 @@ func runJob(job Job, cc *CircuitCache, opt Options) Result {
 	if opt.Simulate {
 		res.SimRed, err = expt.SimReduction(c, best.Circuit, worst.Circuit, pi, job.Scenario, eo.Seed, eo)
 		if err != nil {
-			return fail(err)
+			return err
 		}
 	}
 	res.DelayInc, err = expt.DelayIncrease(c, best.Circuit, eo.Delay)
-	if err != nil {
-		return fail(err)
-	}
-	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
-	return res
+	return err
 }
 
 // ParseScenario resolves a scenario name ("A" or "B", case-insensitive).
