@@ -90,7 +90,7 @@ func run() error {
 		defer st.Close()
 		stats := st.Stats()
 		log.Printf("servd: result store %s: %d records, %d segments (torn tail: %d bytes discarded)",
-			*storeDir, stats.Records, stats.Segments, stats.TruncatedBytes)
+			*storeDir, stats.Records, stats.Segments, stats.DiscardedBytes)
 		cfg.Store = st
 	}
 	srv := serve.New(cfg)

@@ -10,6 +10,7 @@
 //	sweep -bench rca8 -modes full,delay-neutral -v
 //	sweep -store results.db                   # journal results; kill -9 it...
 //	sweep -store results.db -resume           # ...and pick up where it died
+//	sweep -coordinator http://host:7070       # join a sweepd coordinator as a worker
 //
 // Results are deterministic for a given flag set regardless of -workers.
 // Ctrl-C cancels queued jobs; finished rows already streamed stand.
@@ -27,7 +28,9 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/dist"
 	"repro/internal/expt"
 	"repro/internal/faults"
 	"repro/internal/mcnc"
@@ -69,8 +72,15 @@ func run() error {
 		backoff   = flag.Duration("retry-backoff", 0, "base backoff between retries (default 50ms, doubled per attempt)")
 		faultSpec = flag.String("fault-spec", "", "TESTING ONLY: deterministic fault-injection spec, e.g. error=0.2,panic=0.1,torn=0.05")
 		faultSeed = flag.Int64("fault-seed", 1, "TESTING ONLY: seed for -fault-spec")
+
+		coordinator = flag.String("coordinator", "", "join a sweepd coordinator at this URL as a worker instead of running a local sweep; job-defining flags are ignored (the coordinator's config is authoritative)")
+		workerID    = flag.String("worker-id", "", "worker name reported to the coordinator (default: host-pid)")
 	)
 	flag.Parse()
+
+	if *coordinator != "" {
+		return runWorkerMode(*coordinator, *workerID, *storeDir, *retries, *backoff, *faultSpec, *faultSeed)
+	}
 
 	opt := sweep.DefaultOptions()
 	if *bench != "" {
@@ -172,7 +182,7 @@ func run() error {
 			return fmt.Errorf("opening result store: %w", err)
 		}
 		defer st.Close()
-		if tb := st.Stats().TruncatedBytes; tb > 0 {
+		if tb := st.Stats().DiscardedBytes; tb > 0 {
 			fmt.Fprintf(os.Stderr, "sweep: store recovered a torn tail (%d bytes discarded)\n", tb)
 		}
 		opt.Store = st
@@ -255,6 +265,41 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runWorkerMode joins a distributed sweep: lease, compute, upload,
+// repeat until the coordinator reports the sweep complete. -store, if
+// given, is this worker's local journal — a restarted worker
+// re-delivers journaled results instead of recomputing them.
+func runWorkerMode(url, id, storeDir string, retries int, backoff time.Duration, faultSpec string, faultSeed int64) error {
+	plan, err := faults.Parse(faultSpec, faultSeed)
+	if err != nil {
+		return err
+	}
+	cfg := dist.WorkerConfig{
+		Coordinator:     url,
+		ID:              id,
+		JobRetries:      retries,
+		JobRetryBackoff: backoff,
+		Faults:          plan,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		},
+	}
+	if storeDir != "" {
+		st, err := store.Open(storeDir, store.Options{Faults: plan})
+		if err != nil {
+			return fmt.Errorf("opening local result store: %w", err)
+		}
+		defer st.Close()
+		cfg.LocalStore = st
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	stats, err := dist.RunWorker(ctx, cfg)
+	fmt.Fprintf(os.Stderr, "sweep: worker done: %d leases (%d lost), %d computed, %d local hits, %d uploaded, %d failed, %d retries\n",
+		stats.Leases, stats.LeasesLost, stats.Computed, stats.LocalHits, stats.Uploaded, stats.Failed, stats.Retried)
+	return err
 }
 
 func splitTrim(s string) []string {

@@ -1,0 +1,319 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/faults"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// chaosSweep is the shared job matrix: 8 jobs, so a chunk of 2 yields
+// at least 4 leases and real contention between workers.
+func chaosSweep() sweep.Options {
+	opt := sweep.DefaultOptions()
+	opt.Benchmarks = []string{"c17", "rca4"}
+	opt.Scenarios = []expt.Scenario{expt.ScenarioA, expt.ScenarioB}
+	opt.Seeds = []int64{1, 2}
+	opt.Simulate = false // the S column costs simulation time the protocol tests don't need
+	return opt
+}
+
+// normalizeResults zeroes the timing field — the only legitimate
+// difference between a distributed and a single-process run.
+func normalizeResults(rs []sweep.Result) []sweep.Result {
+	out := make([]sweep.Result, len(rs))
+	copy(out, rs)
+	for i := range out {
+		out[i].ElapsedMS = 0
+	}
+	return out
+}
+
+// TestDistributedMatchesSingleProcess is the no-faults baseline: three
+// workers sharding the sweep produce exactly the single-process result
+// set.
+func TestDistributedMatchesSingleProcess(t *testing.T) {
+	opt := chaosSweep()
+	clean, err := sweep.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, ts, _ := newTestCoordinator(t, opt, 5*time.Second, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			stats, err := RunWorker(context.Background(), WorkerConfig{
+				Coordinator: ts.URL,
+				ID:          fmt.Sprintf("w%d", id),
+				RPCBackoff:  5 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v (%+v)", id, err, stats)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	select {
+	case <-c.Done():
+	default:
+		t.Fatalf("workers exited but sweep incomplete: %+v", c.Status())
+	}
+	got, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed != 0 || clean.Failed != 0 {
+		t.Fatalf("failures: distributed %d, clean %d, want 0", got.Failed, clean.Failed)
+	}
+	if !reflect.DeepEqual(normalizeResults(got.Results), normalizeResults(clean.Results)) {
+		t.Fatalf("distributed results diverged from single-process run:\n%+v\nvs\n%+v",
+			got.Results, clean.Results)
+	}
+	if !reflect.DeepEqual(got.Aggregates, clean.Aggregates) {
+		t.Fatal("aggregates diverged")
+	}
+}
+
+// TestChaosSweepSurvivesFaultsAndWorkerDeath is the acceptance chaos
+// run: a worker takes a lease and dies silently (never heartbeats, never
+// uploads — the in-process stand-in for kill -9), the surviving workers
+// run under a fault plan that drops heartbeats and fails uploads, and
+// the coordinator injects merge rejections and torn merges. The merged
+// store must still end byte-identical (modulo timing) to an
+// uninterrupted single-process sweep, with the duplicate executions
+// absorbed and visible in the dedup counter.
+func TestChaosSweepSurvivesFaultsAndWorkerDeath(t *testing.T) {
+	opt := chaosSweep()
+	clean, err := sweep.Run(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator-side plan: reject or tear uploads at dist/merge.
+	// Worker-side plan: lose lease RPCs, drop heartbeats, fail uploads.
+	// Rates are low enough that the retry budgets absorb every schedule
+	// with overwhelming margin, high enough that faults actually fire.
+	coordPlan, err := faults.Parse("error=0.15,torn=0.2", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerPlan, err := faults.Parse("error=0.2", 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const ttl = 300 * time.Millisecond
+	c, err := NewCoordinator(CoordinatorConfig{
+		Sweep: opt, Store: st, LeaseTTL: ttl, ChunkSize: 2, Faults: coordPlan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c)
+	defer ts.Close()
+
+	// The doomed worker: leases a range, then goes silent. Its jobs must
+	// come back via TTL expiry and land on the survivors.
+	var doomed LeaseResponse
+	leaseBody := `{"worker":"doomed"}`
+	resp, err := http.Post(ts.URL+PathLease, "application/json", strings.NewReader(leaseBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doomed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(doomed.Jobs) != 2 {
+		t.Fatalf("doomed worker leased %d jobs, want 2", len(doomed.Jobs))
+	}
+
+	// Survivors join immediately — they contend with the doomed lease
+	// and must wait out its expiry for the stranded jobs.
+	var wg sync.WaitGroup
+	workerStats := make([]*WorkerStats, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			stats, err := RunWorker(context.Background(), WorkerConfig{
+				Coordinator: ts.URL,
+				ID:          fmt.Sprintf("survivor%d", id),
+				RPCRetries:  8,
+				RPCBackoff:  5 * time.Millisecond,
+				Faults:      workerPlan,
+			})
+			workerStats[id] = stats
+			if err != nil {
+				t.Errorf("survivor %d: %v", id, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	select {
+	case <-c.Done():
+	default:
+		t.Fatalf("survivors exited but sweep incomplete: %+v", c.Status())
+	}
+
+	// The doomed worker now rises as a zombie: it computes its leased
+	// jobs (long since reassigned and completed by others) and uploads.
+	// Every record must dedup — at-least-once execution, exactly-once
+	// storage.
+	zw := &worker{cfg: WorkerConfig{RPCRetries: 8, RPCBackoff: 5 * time.Millisecond, ID: "doomed",
+		Logf: func(string, ...any) {}}, client: ts.Client(), base: ts.URL, cc: sweep.NewCircuitCache(0)}
+	var wireCfg SweepConfig
+	if err := zw.get(context.Background(), PathConfig, &wireCfg); err != nil {
+		t.Fatal(err)
+	}
+	zw.opt, err = wireCfg.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []UploadRecord
+	for _, spec := range doomed.Jobs {
+		rec, _, err := zw.runJob(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, rec)
+	}
+	var upResp UploadResponse
+	err = zw.post(context.Background(), PathUpload, siteUpload, doomed.LeaseID, func(attempt int) any {
+		return UploadRequest{Worker: "doomed", LeaseID: doomed.LeaseID, Attempt: attempt, Results: records}
+	}, &upResp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upResp.Merged != 0 || upResp.Deduped != 2 {
+		t.Fatalf("zombie upload = %+v, want 0 merged / 2 deduped", upResp)
+	}
+
+	// Equivalence: the merged journal reconstructs the clean run
+	// byte-identically modulo timing.
+	got, err := c.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed != 0 {
+		t.Fatalf("chaos run recorded %d terminal failures: %+v", got.Failed, got.Failures)
+	}
+	if !reflect.DeepEqual(normalizeResults(got.Results), normalizeResults(clean.Results)) {
+		t.Fatalf("chaos results diverged from single-process run:\n%+v\nvs\n%+v",
+			got.Results, clean.Results)
+	}
+
+	// The failure machinery must actually have fired.
+	stats := st.Stats()
+	if stats.MergeSkipped < 2 {
+		t.Fatalf("MergeSkipped = %d, want >= 2 (zombie dedup)", stats.MergeSkipped)
+	}
+	_, _, expired := c.tracker.counters()
+	if expired == 0 {
+		t.Fatal("no lease ever expired — the doomed worker's range was never reclaimed")
+	}
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		"dist_leases_expired_total",
+		"dist_results_deduped_total",
+		"dist_results_merged_total 8",
+		"dist_jobs_done 8",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Coordinator restart over the same journal: everything resumes,
+	// nothing is re-leased.
+	c2, err := NewCoordinator(CoordinatorConfig{Sweep: opt, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 := c2.Status(); !st2.Complete || st2.Done != 8 {
+		t.Fatalf("restarted coordinator status %+v, want complete 8/8", st2)
+	}
+	got2, err := c2.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeResults(got2.Results), normalizeResults(clean.Results)) {
+		t.Fatal("restarted coordinator reconstructs different results")
+	}
+}
+
+// TestWorkerLocalStoreRedelivers: a worker restarted over its local
+// journal re-delivers stored results instead of recomputing.
+func TestWorkerLocalStoreRedelivers(t *testing.T) {
+	opt := chaosSweep()
+	localDir := t.TempDir()
+
+	// First worker run completes the whole sweep, journaling locally.
+	_, ts1, _ := newTestCoordinator(t, opt, 5*time.Second, 4)
+	local, err := store.Open(localDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats1, err := RunWorker(context.Background(), WorkerConfig{
+		Coordinator: ts1.URL, ID: "w", LocalStore: local, RPCBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Computed != 8 || stats1.LocalHits != 0 {
+		t.Fatalf("first run computed=%d localhits=%d, want 8/0", stats1.Computed, stats1.LocalHits)
+	}
+	local.Close()
+
+	// A fresh coordinator (empty store), same sweep: the restarted
+	// worker serves every job from its local journal.
+	_, ts2, st2 := newTestCoordinator(t, opt, 5*time.Second, 4)
+	local, err = store.Open(localDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	stats2, err := RunWorker(context.Background(), WorkerConfig{
+		Coordinator: ts2.URL, ID: "w", LocalStore: local, RPCBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Computed != 0 || stats2.LocalHits != 8 {
+		t.Fatalf("second run computed=%d localhits=%d, want 0/8", stats2.Computed, stats2.LocalHits)
+	}
+	if st2.Stats().Records != 8 {
+		t.Fatalf("coordinator store has %d records, want 8", st2.Stats().Records)
+	}
+}

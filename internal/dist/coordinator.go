@@ -1,0 +1,482 @@
+// Package dist shards one sweep across processes: a coordinator owns
+// the job ledger and the durable result store, and stateless workers
+// lease bounded job ranges over HTTP, compute them with the
+// internal/sweep engine, and upload results for an idempotent merge.
+//
+// The fault model is crash-stop plus lossy RPC. Leases carry a TTL
+// renewed by heartbeat; a worker that dies (or whose heartbeats are
+// dropped) simply stops renewing, and its jobs return to pending for
+// reassignment after the TTL lapses. Execution is therefore
+// at-least-once — two workers can legitimately compute the same job —
+// but storage is exactly-once: every upload merges through
+// store.Merge, which skips keys already journaled, and jobs are pure
+// functions of their content identity (sweep.Job.StoreKey), so
+// duplicate executions produce byte-identical results and the first
+// delivery wins without a conflict. The merged journal of a faulted,
+// multi-worker run is byte-identical (modulo timing fields) to an
+// uninterrupted single-process sweep over the same store.
+//
+// Fault sites (internal/faults) cover both halves of the protocol:
+// workers inject at dist/lease, dist/heartbeat and dist/upload (lost
+// RPCs, dropped renewals, failed deliveries), and the coordinator
+// injects at dist/merge (rejected or torn uploads whose accepted
+// prefix must still dedup on retry).
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/faults"
+	"repro/internal/mcnc"
+	"repro/internal/reorder"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// CoordinatorConfig configures a sweep coordinator.
+type CoordinatorConfig struct {
+	// Sweep defines the work. Benchmarks/scenarios/modes/seeds are
+	// normalized to explicit lists; stream/callback/store wiring inside
+	// is ignored — the coordinator owns durability.
+	Sweep sweep.Options
+	// Store is the coordinator's journal; results already present count
+	// as done before any lease is granted, so a restarted coordinator
+	// resumes instead of resweeping. Required.
+	Store *store.Store
+	// LeaseTTL bounds how long a silent worker holds jobs
+	// (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// ChunkSize is the number of jobs per lease (default
+	// DefaultChunkSize).
+	ChunkSize int
+	// Faults optionally injects at the dist/merge site, keyed by lease
+	// ID and the upload's attempt number.
+	Faults *faults.Plan
+
+	// now is the test clock (nil: time.Now).
+	now func() time.Time
+}
+
+// Coordinator is the http.Handler side of a distributed sweep.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	opt     sweep.Options // normalized
+	wire    []byte        // marshaled SweepConfig, served verbatim
+	tracker *tracker
+	store   *store.Store
+	mux     *http.ServeMux
+
+	resumed int // jobs already journaled at startup
+}
+
+// NewCoordinator validates the sweep, enumerates its jobs, marks those
+// already present in the store as done, and returns a ready handler.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("dist: coordinator requires a store")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+
+	opt := cfg.Sweep
+	// Normalize to explicit lists so the wire config, the job
+	// enumeration, and every worker agree on the same cross product.
+	if len(opt.Benchmarks) == 0 {
+		opt.Benchmarks = mcnc.Names()
+	}
+	for _, b := range opt.Benchmarks {
+		if _, ok := mcnc.EmbeddedSource(b); ok {
+			continue
+		}
+		if _, ok := mcnc.Find(b); !ok {
+			return nil, fmt.Errorf("dist: unknown benchmark %q", b)
+		}
+	}
+	// Same defaults sweep.Jobs applies, made explicit so the wire
+	// config, the job enumeration, and every worker agree.
+	if len(opt.Scenarios) == 0 {
+		opt.Scenarios = []expt.Scenario{expt.ScenarioA, expt.ScenarioB}
+	}
+	if len(opt.Modes) == 0 {
+		opt.Modes = []reorder.Mode{reorder.Full}
+	}
+	if len(opt.Seeds) == 0 {
+		opt.Seeds = []int64{opt.Expt.Seed}
+	}
+	wire, err := json.Marshal(ConfigFromOptions(opt))
+	if err != nil {
+		return nil, fmt.Errorf("dist: marshaling config: %w", err)
+	}
+
+	jobs := sweep.Jobs(opt)
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i] = j.StoreKey(opt)
+	}
+
+	c := &Coordinator{
+		cfg:     cfg,
+		opt:     opt,
+		wire:    wire,
+		tracker: newTracker(jobs, keys, cfg.LeaseTTL, cfg.ChunkSize, cfg.now),
+		store:   cfg.Store,
+		mux:     http.NewServeMux(),
+	}
+	// Resume: a key already journaled is a finished job — a restarted
+	// coordinator (or one pointed at a prior single-process sweep's
+	// journal) only distributes the remainder.
+	for i, k := range keys {
+		if c.store.Has(k) {
+			if c.tracker.markDone(i, nil) {
+				c.resumed++
+			}
+		}
+	}
+
+	c.mux.HandleFunc(PathConfig, c.handleConfig)
+	c.mux.HandleFunc(PathLease, c.handleLease)
+	c.mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	c.mux.HandleFunc(PathUpload, c.handleUpload)
+	c.mux.HandleFunc(PathStatus, c.handleStatus)
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/metrics", c.handleMetrics)
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// Done is closed when every job is finished (delivered or resumed).
+func (c *Coordinator) Done() <-chan struct{} { return c.tracker.doneCh }
+
+// Status snapshots sweep progress.
+func (c *Coordinator) Status() StatusResponse { return c.tracker.status() }
+
+// Summary assembles the finished sweep in deterministic job order from
+// the journal plus the in-memory failure records. It errors if the
+// sweep is incomplete or a journaled result fails to decode.
+func (c *Coordinator) Summary() (*sweep.Summary, error) {
+	st := c.tracker.status()
+	if !st.Complete {
+		return nil, fmt.Errorf("dist: sweep incomplete: %d/%d jobs done", st.Done, st.Total)
+	}
+	c.tracker.mu.Lock()
+	failed := make(map[int]sweep.Result, len(c.tracker.failed))
+	for i, r := range c.tracker.failed {
+		failed[i] = r
+	}
+	keys := c.tracker.keys
+	jobs := c.tracker.jobs
+	c.tracker.mu.Unlock()
+
+	results := make([]sweep.Result, 0, len(jobs))
+	for i, j := range jobs {
+		if r, ok := failed[i]; ok {
+			r.Index = j.Index
+			results = append(results, r)
+			continue
+		}
+		raw, ok := c.store.Get(keys[i])
+		if !ok {
+			return nil, fmt.Errorf("dist: job %d (%s) done but absent from store", i, j.Benchmark)
+		}
+		var r sweep.Result
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("dist: decoding stored result for job %d: %w", i, err)
+		}
+		r.Index = j.Index // duplicate-shaped sweeps share a key; reindex
+		results = append(results, r)
+	}
+	return sweep.Summarize(results), nil
+}
+
+// ---------------------------------------------------------------------
+// Handlers. Same conventions as internal/serve: strict JSON decode,
+// {"error":{code,message}} envelopes, Prometheus text /metrics.
+
+func (c *Coordinator) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if err := requireGET(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(c.wire)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := decodeJSON(w, r, 1<<20, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, errf(http.StatusBadRequest, "invalid_request", "\"worker\" is required"))
+		return
+	}
+	l, done := c.tracker.grant(req.Worker)
+	resp := LeaseResponse{Done: done}
+	if l != nil {
+		resp.LeaseID = l.id
+		resp.TTLMs = c.cfg.LeaseTTL.Milliseconds()
+		c.tracker.mu.Lock()
+		for _, idx := range l.jobs {
+			j := c.tracker.jobs[idx]
+			resp.Jobs = append(resp.Jobs, JobSpec{
+				Index:     j.Index,
+				Benchmark: j.Benchmark,
+				Scenario:  j.Scenario.String(),
+				Mode:      j.Mode.String(),
+				Seed:      j.Seed,
+				Key:       c.tracker.keys[idx],
+			})
+		}
+		c.tracker.mu.Unlock()
+	} else if !done {
+		resp.RetryMs = DefaultRetryMs
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := decodeJSON(w, r, 1<<20, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if !c.tracker.renew(req.LeaseID) {
+		writeError(w, errf(http.StatusGone, codeLeaseGone,
+			"lease %s expired or was never granted", req.LeaseID))
+		return
+	}
+	writeJSON(w, HeartbeatResponse{TTLMs: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if err := decodeJSON(w, r, 64<<20, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Attempt < 1 {
+		req.Attempt = 1
+	}
+
+	// Coordinator-side fault site. Error rejects the whole upload;
+	// TornWrite accepts a seeded prefix and then "crashes" — the
+	// worker's retry re-delivers everything and the accepted prefix
+	// dedups, which is exactly the idempotence this protocol exists to
+	// provide. Panic is contained to a rejection (the coordinator must
+	// not die), Delay just stalls.
+	n := len(req.Results)
+	switch c.cfg.Faults.Decide(siteMerge, req.LeaseID, req.Attempt) {
+	case faults.Error, faults.Panic:
+		writeError(w, errf(http.StatusServiceUnavailable, "injected_fault",
+			"injected merge failure for lease %s attempt %d", req.LeaseID, req.Attempt))
+		return
+	case faults.TornWrite:
+		keep := c.cfg.Faults.TearAt(siteMerge, req.LeaseID, req.Attempt, n)
+		c.mergeRecords(req.Results[:keep])
+		writeError(w, errf(http.StatusServiceUnavailable, "injected_fault",
+			"injected torn merge for lease %s attempt %d: accepted %d/%d", req.LeaseID, req.Attempt, keep, n))
+		return
+	case faults.Delay:
+		time.Sleep(c.cfg.Faults.DelayFor(siteMerge, req.LeaseID, req.Attempt))
+	}
+
+	resp := c.mergeRecords(req.Results)
+	// A successful upload retires the lease; any jobs the worker chose
+	// not to deliver go straight back to pending.
+	c.tracker.release(req.LeaseID)
+	writeJSON(w, resp)
+}
+
+// mergeRecords applies uploaded records to the ledger and the journal.
+// Failures are accounted but never journaled (matching the
+// single-process sweep, which only journals successes); successes merge
+// idempotently through store.Merge.
+func (c *Coordinator) mergeRecords(recs []UploadRecord) UploadResponse {
+	var resp UploadResponse
+	for _, rec := range recs {
+		idx, ok := c.tracker.jobIndex(rec.Key)
+		if !ok {
+			resp.Unknown++
+			continue
+		}
+		if rec.Failed {
+			var r sweep.Result
+			if err := json.Unmarshal(rec.Result, &r); err == nil {
+				c.tracker.markDone(idx, &r)
+			}
+			resp.Failed++
+			continue
+		}
+		added, _, err := c.store.Merge([]store.Record{{Key: rec.Key, Value: rec.Result}})
+		if err != nil {
+			// A failed append leaves the job un-done; the lease will
+			// expire and the job will be recomputed and re-delivered.
+			continue
+		}
+		if added == 1 {
+			resp.Merged++
+		} else {
+			resp.Deduped++
+		}
+		c.tracker.markDone(idx, nil)
+	}
+	return resp
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if err := requireGET(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, c.tracker.status())
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := requireGET(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if err := requireGET(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c.writeMetrics(w)
+}
+
+func (c *Coordinator) writeMetrics(w io.Writer) {
+	st := c.tracker.status()
+	granted, renewed, expired := c.tracker.counters()
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	gauge("dist_jobs_total", "Jobs in this sweep.", st.Total)
+	gauge("dist_jobs_done", "Jobs finished (delivered or resumed).", st.Done)
+	gauge("dist_jobs_pending", "Jobs waiting for a lease.", st.Pending)
+	gauge("dist_jobs_leased", "Jobs currently leased out.", st.Leased)
+	gauge("dist_jobs_failed", "Jobs that ended in a terminal failure.", st.Failed)
+	gauge("dist_jobs_resumed", "Jobs satisfied from the journal at startup.", c.resumed)
+	counter("dist_leases_granted_total", "Leases handed out.", granted)
+	counter("dist_leases_renewed_total", "Heartbeat renewals honored.", renewed)
+	counter("dist_leases_expired_total", "Leases reclaimed after TTL lapse (worker death or lost heartbeats).", expired)
+
+	stats := c.store.Stats()
+	counter("dist_results_merged_total", "Uploaded results appended to the journal.", stats.MergeAdded)
+	counter("dist_results_deduped_total", "Uploaded results already journaled (duplicate executions absorbed).", stats.MergeSkipped)
+	gauge("dist_store_records", "Distinct results in the journal.", stats.Records)
+	gauge("dist_store_segments", "Journal segments on disk.", stats.Segments)
+	gauge("dist_store_discarded_bytes", "Torn-tail bytes discarded when the journal was opened.", stats.DiscardedBytes)
+}
+
+// Serve runs the coordinator on an *http.Server until ctx is canceled
+// or the listener fails.
+func Serve(ctx context.Context, addr string, c *Coordinator) error {
+	srv := &http.Server{Addr: addr, Handler: c}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+		return ctx.Err()
+	case err := <-errCh:
+		return err
+	}
+}
+
+// ---------------------------------------------------------------------
+// Shared HTTP plumbing (same idiom as internal/serve, whose helpers are
+// unexported).
+
+const codeLeaseGone = "lease_gone"
+
+// Fault sites.
+const (
+	siteLease     = "dist/lease"
+	siteHeartbeat = "dist/heartbeat"
+	siteUpload    = "dist/upload"
+	siteMerge     = "dist/merge"
+)
+
+// httpError renders as {"error":{"code","message"}} with its status.
+type httpError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *httpError) Error() string { return e.Code + ": " + e.Message }
+
+func errf(status int, code, format string, args ...any) *httpError {
+	return &httpError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if !errors.As(err, &he) {
+		he = errf(http.StatusInternalServerError, "internal", "%v", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(he.Status)
+	json.NewEncoder(w).Encode(map[string]*httpError{"error": he})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) error {
+	if r.Method != http.MethodPost {
+		return errf(http.StatusMethodNotAllowed, "method_not_allowed", "%s requires POST", r.URL.Path)
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errf(http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds %d bytes", mbe.Limit)
+		}
+		return errf(http.StatusBadRequest, "invalid_json", "decoding request: %v", err)
+	}
+	if dec.More() {
+		return errf(http.StatusBadRequest, "invalid_json", "trailing data after JSON object")
+	}
+	return nil
+}
+
+func requireGET(r *http.Request) error {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		return errf(http.StatusMethodNotAllowed, "method_not_allowed", "%s requires GET", r.URL.Path)
+	}
+	return nil
+}

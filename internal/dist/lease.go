@@ -1,0 +1,252 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// jobState is one job's position in the pending → leased → done walk.
+// A leased job whose lease expires returns to pending; done is
+// terminal (a later duplicate delivery is absorbed as a dedup, never a
+// state change).
+type jobState int
+
+const (
+	statePending jobState = iota
+	stateLeased
+	stateDone
+)
+
+// lease is one live grant: a bounded set of job indices owned by one
+// worker until expiry.
+type lease struct {
+	id     string
+	worker string
+	jobs   []int // indices into tracker.jobs
+	expiry time.Time
+}
+
+// tracker is the coordinator's in-memory job ledger. All methods are
+// safe for concurrent use; expiry is lazy — every entry point first
+// sweeps expired leases back to pending, so no background timer is
+// needed and tests can drive time through the now hook.
+type tracker struct {
+	mu    sync.Mutex
+	jobs  []sweep.Job
+	keys  []string       // content key per job, parallel to jobs
+	byKey map[string]int // key → job index
+	state []jobState
+
+	leases   map[string]*lease
+	leaseSeq int
+
+	pending int
+	done    int
+	failed  map[int]sweep.Result // terminal failures, by job index
+
+	ttl   time.Duration
+	chunk int
+	now   func() time.Time
+
+	doneCh   chan struct{}
+	complete bool
+
+	// Counters surfaced on /metrics.
+	granted uint64 // leases handed out
+	renewed uint64 // heartbeat renewals honored
+	expired uint64 // leases reclaimed after TTL lapse
+}
+
+func newTracker(jobs []sweep.Job, keys []string, ttl time.Duration, chunk int, now func() time.Time) *tracker {
+	t := &tracker{
+		jobs:    jobs,
+		keys:    keys,
+		byKey:   make(map[string]int, len(jobs)),
+		state:   make([]jobState, len(jobs)),
+		leases:  make(map[string]*lease),
+		pending: len(jobs),
+		failed:  make(map[int]sweep.Result),
+		ttl:     ttl,
+		chunk:   chunk,
+		now:     now,
+		doneCh:  make(chan struct{}),
+	}
+	for i, k := range keys {
+		// Duplicate content keys (same cell repeated in a degenerate
+		// sweep shape) map to the first index; the merge path treats the
+		// extras as dedups.
+		if _, ok := t.byKey[k]; !ok {
+			t.byKey[k] = i
+		}
+	}
+	if len(jobs) == 0 {
+		t.complete = true
+		close(t.doneCh)
+	}
+	return t
+}
+
+// markDoneLocked records a job as finished regardless of its current
+// state (a result can arrive for a job whose lease already expired and
+// was even re-leased elsewhere — the work is done either way).
+func (t *tracker) markDoneLocked(idx int) bool {
+	switch t.state[idx] {
+	case stateDone:
+		return false
+	case statePending:
+		t.pending--
+	}
+	t.state[idx] = stateDone
+	t.done++
+	if t.done == len(t.jobs) && !t.complete {
+		t.complete = true
+		close(t.doneCh)
+	}
+	return true
+}
+
+// expireLocked reclaims every lease past its deadline, returning its
+// unfinished jobs to pending.
+func (t *tracker) expireLocked() {
+	now := t.now()
+	for id, l := range t.leases {
+		if l.expiry.After(now) {
+			continue
+		}
+		delete(t.leases, id)
+		t.expired++
+		for _, idx := range l.jobs {
+			if t.state[idx] == stateLeased {
+				t.state[idx] = statePending
+				t.pending++
+			}
+		}
+	}
+}
+
+// releaseLocked tears a lease down after a successful upload: jobs the
+// worker did not deliver (a partial upload after losing the race to a
+// reassignment, or a deliberate abandon) go straight back to pending
+// instead of waiting out the TTL.
+func (t *tracker) releaseLocked(id string) {
+	l, ok := t.leases[id]
+	if !ok {
+		return
+	}
+	delete(t.leases, id)
+	for _, idx := range l.jobs {
+		if t.state[idx] == stateLeased {
+			t.state[idx] = statePending
+			t.pending++
+		}
+	}
+}
+
+// grant hands out up to chunk pending jobs under a fresh lease. It
+// returns (nil, true) when the sweep is complete and (nil, false) when
+// everything left is leased to someone else — the caller should poll
+// again.
+func (t *tracker) grant(worker string) (*lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	if t.complete {
+		return nil, true
+	}
+	if t.pending == 0 {
+		return nil, false
+	}
+	l := &lease{worker: worker, expiry: t.now().Add(t.ttl)}
+	for idx := range t.jobs {
+		if t.state[idx] != statePending {
+			continue
+		}
+		t.state[idx] = stateLeased
+		t.pending--
+		l.jobs = append(l.jobs, idx)
+		if len(l.jobs) == t.chunk {
+			break
+		}
+	}
+	t.leaseSeq++
+	l.id = fmt.Sprintf("lease-%d", t.leaseSeq)
+	t.leases[l.id] = l
+	t.granted++
+	return l, false
+}
+
+// renew extends a lease's deadline. False means the lease is gone —
+// expired and possibly reassigned — and the worker should abandon the
+// range (its eventual upload is still accepted and deduped).
+func (t *tracker) renew(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	l, ok := t.leases[id]
+	if !ok {
+		return false
+	}
+	l.expiry = t.now().Add(t.ttl)
+	t.renewed++
+	return true
+}
+
+// jobIndex resolves an uploaded content key to its job index.
+func (t *tracker) jobIndex(key string) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, ok := t.byKey[key]
+	return idx, ok
+}
+
+// markDone records a delivered result and returns whether it was the
+// first delivery. A terminal failure is remembered (for the summary)
+// but the caller must not journal it.
+func (t *tracker) markDone(idx int, failure *sweep.Result) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	first := t.markDoneLocked(idx)
+	if failure != nil && first {
+		t.failed[idx] = *failure
+	}
+	return first
+}
+
+// release is the exported form of releaseLocked.
+func (t *tracker) release(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.releaseLocked(id)
+}
+
+// status snapshots progress for /dist/v1/status and /metrics.
+func (t *tracker) status() StatusResponse {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	leased := 0
+	for _, s := range t.state {
+		if s == stateLeased {
+			leased++
+		}
+	}
+	return StatusResponse{
+		Total:    len(t.jobs),
+		Done:     t.done,
+		Pending:  t.pending,
+		Leased:   leased,
+		Failed:   len(t.failed),
+		Workers:  len(t.leases),
+		Complete: t.complete,
+	}
+}
+
+// counters snapshots the lease counters for /metrics.
+func (t *tracker) counters() (granted, renewed, expired uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.granted, t.renewed, t.expired
+}

@@ -1,0 +1,461 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// WorkerConfig configures one worker process (or goroutine).
+type WorkerConfig struct {
+	// Coordinator is the base URL, e.g. "http://host:7070". Required.
+	Coordinator string
+	// ID names this worker in leases and logs (default "host-pid").
+	ID string
+	// LocalStore optionally journals this worker's results locally
+	// (keyed by the coordinator-shipped content key), so a restarted
+	// worker re-delivers instead of recomputing.
+	LocalStore *store.Store
+	// JobRetries / JobRetryBackoff configure the sweep engine's per-job
+	// retry budget (sweep.Options.Retries semantics).
+	JobRetries      int
+	JobRetryBackoff time.Duration
+	// RPCRetries bounds re-sends of each coordinator RPC after a
+	// transient failure (default 5); RPCBackoff is the base of the
+	// exponential backoff between them (default 100ms).
+	RPCRetries int
+	RPCBackoff time.Duration
+	// Faults injects at the worker-side sites: dist/lease (lost lease
+	// RPCs), dist/heartbeat (dropped renewals — the lease expires and
+	// the range is reassigned), dist/upload (failed deliveries,
+	// retried with a fresh attempt number).
+	Faults *faults.Plan
+	// Client overrides the HTTP client (default: http.DefaultClient
+	// semantics with a 30s timeout).
+	Client *http.Client
+	// Logf receives progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats summarizes one RunWorker call.
+type WorkerStats struct {
+	Leases     int // leases processed to completion
+	LeasesLost int // leases abandoned after the coordinator reclaimed them
+	Computed   int // jobs computed locally
+	LocalHits  int // jobs served from the local journal
+	Failed     int // jobs that ended in a terminal failure record
+	Uploaded   int // result records delivered
+	Retried    int // extra sweep-engine attempts spent on transient job failures
+}
+
+// worker is the runtime state behind RunWorker.
+type worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	base   string
+	opt    sweep.Options
+	cc     *sweep.CircuitCache
+	stats  WorkerStats
+}
+
+// RunWorker joins the coordinator's sweep and processes leases until
+// the sweep completes or ctx is canceled. A coordinator that vanishes
+// mid-run — it finished the sweep and exited, or crashed (its journal
+// resumes on restart) — is a clean exit once the lease RPC's retry
+// budget is exhausted; failing the initial config fetch or a result
+// upload is an error. It always returns the stats accumulated so far.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerStats, error) {
+	if cfg.Coordinator == "" {
+		return &WorkerStats{}, errors.New("dist: worker requires a coordinator URL")
+	}
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.RPCRetries <= 0 {
+		cfg.RPCRetries = 5
+	}
+	if cfg.RPCBackoff <= 0 {
+		cfg.RPCBackoff = 100 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	w := &worker{
+		cfg:    cfg,
+		client: client,
+		base:   cfg.Coordinator,
+		cc:     sweep.NewCircuitCache(0),
+	}
+
+	// The coordinator's config is the single source of truth for what a
+	// job means; the worker only adds local policy (retries, faults).
+	var wireCfg SweepConfig
+	if err := w.get(ctx, PathConfig, &wireCfg); err != nil {
+		return &w.stats, fmt.Errorf("dist: fetching config: %w", err)
+	}
+	opt, err := wireCfg.Options()
+	if err != nil {
+		return &w.stats, err
+	}
+	opt.Retries = cfg.JobRetries
+	opt.RetryBackoff = cfg.JobRetryBackoff
+	opt.Faults = cfg.Faults
+	w.opt = opt
+
+	leaseSeq := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return &w.stats, err
+		}
+		leaseSeq++
+		var resp LeaseResponse
+		key := fmt.Sprintf("%s-%d", cfg.ID, leaseSeq)
+		err := w.post(ctx, PathLease, siteLease, key, func(int) any {
+			return LeaseRequest{Worker: cfg.ID}
+		}, &resp)
+		var down *downError
+		if errors.As(err, &down) {
+			// The coordinator answered the config fetch but is now gone
+			// past the retry budget — most likely it finished the sweep
+			// and exited, or crashed (its journal resumes on restart
+			// either way). A worker with no coordinator has nothing
+			// left to do; this is a clean exit, not a failure.
+			cfg.Logf("worker %s: coordinator gone (%v); exiting", cfg.ID, down.cause)
+			return &w.stats, nil
+		}
+		if err != nil {
+			return &w.stats, fmt.Errorf("dist: leasing: %w", err)
+		}
+		switch {
+		case resp.Done:
+			cfg.Logf("worker %s: sweep complete (%d leases, %d computed, %d uploaded)",
+				cfg.ID, w.stats.Leases, w.stats.Computed, w.stats.Uploaded)
+			return &w.stats, nil
+		case len(resp.Jobs) == 0:
+			wait := time.Duration(resp.RetryMs) * time.Millisecond
+			if wait <= 0 {
+				wait = DefaultRetryMs * time.Millisecond
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				return &w.stats, err
+			}
+			continue
+		}
+		if err := w.processLease(ctx, resp); err != nil {
+			return &w.stats, err
+		}
+	}
+}
+
+// processLease computes a lease's jobs under a background heartbeat and
+// uploads the results. Losing the lease mid-flight (heartbeat says
+// gone) stops further compute; whatever finished is still uploaded —
+// the coordinator accepts results from expired leases and dedups any
+// the replacement worker delivered first.
+func (w *worker) processLease(ctx context.Context, l LeaseResponse) error {
+	ttl := time.Duration(l.TTLMs) * time.Millisecond
+	w.cfg.Logf("worker %s: lease %s: %d jobs, ttl %s", w.cfg.ID, l.LeaseID, len(l.Jobs), ttl)
+
+	var lost atomic.Bool
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(hbCtx, l.LeaseID, ttl, &lost)
+	}()
+
+	var records []UploadRecord
+	for _, spec := range l.Jobs {
+		if lost.Load() || ctx.Err() != nil {
+			break
+		}
+		rec, computed, err := w.runJob(ctx, spec)
+		if err != nil {
+			stopHB()
+			<-hbDone
+			return err
+		}
+		if computed {
+			w.stats.Computed++
+		} else {
+			w.stats.LocalHits++
+		}
+		if rec.Failed {
+			w.stats.Failed++
+		}
+		records = append(records, rec)
+	}
+	stopHB()
+	<-hbDone
+
+	if len(records) > 0 {
+		var resp UploadResponse
+		err := w.post(ctx, PathUpload, siteUpload, l.LeaseID, func(attempt int) any {
+			return UploadRequest{Worker: w.cfg.ID, LeaseID: l.LeaseID, Attempt: attempt, Results: records}
+		}, &resp)
+		if err != nil {
+			return fmt.Errorf("dist: uploading lease %s: %w", l.LeaseID, err)
+		}
+		w.stats.Uploaded += len(records)
+		w.cfg.Logf("worker %s: lease %s uploaded: %d merged, %d deduped",
+			w.cfg.ID, l.LeaseID, resp.Merged, resp.Deduped)
+	}
+	if lost.Load() {
+		w.stats.LeasesLost++
+	} else {
+		w.stats.Leases++
+	}
+	return nil
+}
+
+// runJob produces one job's upload record, from the local journal when
+// possible. Terminal failures become Failed records (the coordinator
+// accounts them without journaling), mirroring the single-process
+// sweep.
+func (w *worker) runJob(ctx context.Context, spec JobSpec) (UploadRecord, bool, error) {
+	if ls := w.cfg.LocalStore; ls != nil {
+		if raw, ok := ls.Get(spec.Key); ok {
+			return UploadRecord{Key: spec.Key, Result: raw}, false, nil
+		}
+	}
+	job, err := spec.Job()
+	if err != nil {
+		return UploadRecord{}, false, fmt.Errorf("dist: lease carried bad job spec: %w", err)
+	}
+	res, attempts := sweep.ExecuteJob(ctx, job, spec.Key, w.cc, w.opt)
+	if attempts > 1 {
+		w.stats.Retried += attempts - 1
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return UploadRecord{}, false, fmt.Errorf("dist: encoding result: %w", err)
+	}
+	if res.Err == "" {
+		if ls := w.cfg.LocalStore; ls != nil {
+			ls.Put(spec.Key, raw) // best-effort; a failed local append never fails the job
+		}
+	}
+	return UploadRecord{Key: spec.Key, Failed: res.Err != "", Result: raw}, true, nil
+}
+
+// heartbeat renews the lease at TTL/3 until canceled, flagging lost
+// when the coordinator says the lease is gone. Renewals are single
+// attempts — a missed beat is recovered by the next tick well inside
+// the TTL — and the dist/heartbeat fault site drops beats entirely,
+// which is how the chaos tests starve a lease into reassignment.
+func (w *worker) heartbeat(ctx context.Context, leaseID string, ttl time.Duration, lost *atomic.Bool) {
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for beat := 1; ; beat++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if w.cfg.Faults.Decide(siteHeartbeat, leaseID, beat) != faults.None {
+			w.cfg.Logf("worker %s: lease %s: heartbeat %d dropped (injected)", w.cfg.ID, leaseID, beat)
+			continue
+		}
+		var resp HeartbeatResponse
+		err := w.doOnce(ctx, PathHeartbeat, HeartbeatRequest{Worker: w.cfg.ID, LeaseID: leaseID}, &resp)
+		var he *remoteError
+		if errors.As(err, &he) && he.Code == codeLeaseGone {
+			w.cfg.Logf("worker %s: lease %s reclaimed by coordinator", w.cfg.ID, leaseID)
+			lost.Store(true)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// RPC plumbing: every POST retries transient failures (transport
+// errors, 5xx/429, injected faults) with exponential backoff and
+// seeded jitter; 4xx is terminal.
+
+// downError marks RPC retry-budget exhaustion on transient failures —
+// the coordinator is unreachable or persistently erroring, as opposed
+// to rejecting the request outright.
+type downError struct {
+	attempts int
+	cause    error
+}
+
+func (e *downError) Error() string {
+	return fmt.Sprintf("coordinator unreachable after %d attempts: %v", e.attempts, e.cause)
+}
+func (e *downError) Unwrap() error { return e.cause }
+
+// remoteError is a structured error envelope from the coordinator.
+type remoteError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("coordinator: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Retryable implements the faults.Retryable contract: server-side
+// trouble is worth retrying, client mistakes are not.
+func (e *remoteError) Retryable() bool {
+	return e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+func retryable(err error) bool {
+	var re *remoteError
+	if errors.As(err, &re) {
+		return re.Retryable()
+	}
+	// Transport-level failures (connection refused, reset, timeout) and
+	// injected faults are transient by definition.
+	return true
+}
+
+// post sends build(attempt) to path, retrying transient failures. The
+// fault plan is consulted per attempt at the given site, so an injected
+// schedule deterministically exercises the retry path.
+func (w *worker) post(ctx context.Context, path, site, key string, build func(attempt int) any, out any) error {
+	var lastErr error
+	for attempt := 1; attempt <= w.cfg.RPCRetries+1; attempt++ {
+		if attempt > 1 {
+			if err := sleepCtx(ctx, backoff(w.cfg.RPCBackoff, site+"|"+key, attempt-1)); err != nil {
+				return err
+			}
+		}
+		if err := w.cfg.Faults.Inject(site, key, attempt); err != nil {
+			lastErr = err
+			continue
+		}
+		err := w.doOnce(ctx, path, build(attempt), out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if !retryable(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return &downError{attempts: w.cfg.RPCRetries + 1, cause: lastErr}
+}
+
+// doOnce performs one POST round-trip.
+func (w *worker) doOnce(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.roundTrip(req, out)
+}
+
+// get performs a GET with the same retry policy as post.
+func (w *worker) get(ctx context.Context, path string, out any) error {
+	var lastErr error
+	for attempt := 1; attempt <= w.cfg.RPCRetries+1; attempt++ {
+		if attempt > 1 {
+			if err := sleepCtx(ctx, backoff(w.cfg.RPCBackoff, "get|"+path, attempt-1)); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+path, nil)
+		if err != nil {
+			return err
+		}
+		err = w.roundTrip(req, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if !retryable(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return &downError{attempts: w.cfg.RPCRetries + 1, cause: lastErr}
+}
+
+// roundTrip executes the request and decodes either the response body
+// or the structured error envelope.
+func (w *worker) roundTrip(req *http.Request, out any) error {
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		re := &remoteError{Status: resp.StatusCode, Code: "unknown", Message: string(raw)}
+		if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+			re.Code, re.Message = env.Error.Code, env.Error.Message
+		}
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// backoff is exponential with ±50% jitter seeded by the site/key, the
+// same deterministic-schedule idiom as the sweep engine's job retries.
+func backoff(base time.Duration, key string, retry int) time.Duration {
+	if retry > 6 {
+		retry = 6
+	}
+	d := base << retry
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", key, retry)
+	jitter := float64(h.Sum64()%1000)/1000.0 - 0.5 // [-0.5, 0.5)
+	return d + time.Duration(jitter*float64(d))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -196,3 +196,69 @@ func TestSeedChangesSchedule(t *testing.T) {
 	}
 	t.Fatal("seeds 1 and 2 produced identical schedules over 200 keys")
 }
+
+// TestParseRejections sweeps every malformed-spec class: unknown kinds,
+// rates outside [0,1], structurally broken fields, and bad delays.
+func TestParseRejections(t *testing.T) {
+	for _, bad := range []string{
+		"tornwrite=0.1",   // unknown kind (the spelled-out name is not the spec name)
+		"ERROR=0.1",       // kinds are case-sensitive
+		"=0.3",            // empty kind
+		"error=",          // empty rate
+		"torn=2",          // rate > 1
+		"delay=-0.5",      // rate < 0
+		"error=0.5=0.5",   // Cut keeps the second '=' in the rate
+		"error=0.2;panic", // wrong field separator
+		"maxdelay=abc",    // unparseable duration
+		"maxdelay=0s",     // zero delay bound is meaningless
+		"error=0.4,error=0.7,panic=0.4", // last-wins duplicate keeps the sum over 1
+	} {
+		if p, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted: %+v", bad, p)
+		}
+	}
+	// Whitespace and empty fields are tolerated, not errors.
+	if _, err := Parse(" error=0.2 , , torn=0.1 ", 1); err != nil {
+		t.Fatalf("whitespace/empty fields rejected: %v", err)
+	}
+}
+
+// TestSpecRoundTrip: Plan.Spec re-parses into an equivalent plan — same
+// rates, same delay bound, and therefore the same deterministic
+// schedule — so a logged spec string is sufficient to reproduce a run.
+func TestSpecRoundTrip(t *testing.T) {
+	if s := (*Plan)(nil).Spec(); s != "" {
+		t.Fatalf("nil plan Spec = %q, want empty", s)
+	}
+	for _, spec := range []string{
+		"error=0.25",
+		"error=0.2,panic=0.1,delay=0.05,torn=0.1,maxdelay=3ms",
+		"torn=0.5,maxdelay=1h",
+		"delay=1",
+	} {
+		p, err := Parse(spec, 77)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		q, err := Parse(p.Spec(), 77)
+		if err != nil {
+			t.Fatalf("Parse(Spec()=%q): %v", p.Spec(), err)
+		}
+		if q.Spec() != p.Spec() {
+			t.Fatalf("Spec not a fixed point: %q -> %q", p.Spec(), q.Spec())
+		}
+		if q.rates != p.rates || q.maxDelay != p.maxDelay {
+			t.Fatalf("round-trip changed the plan: %+v vs %+v", q, p)
+		}
+		for i := 0; i < 100; i++ {
+			key := fmt.Sprint(i)
+			if p.Decide("site", key, 1) != q.Decide("site", key, 1) {
+				t.Fatalf("round-trip changed the schedule at key %s", key)
+			}
+			if p.Decide("site", key, 1) == Delay &&
+				p.DelayFor("site", key, 1) != q.DelayFor("site", key, 1) {
+				t.Fatalf("round-trip changed delay lengths at key %s", key)
+			}
+		}
+	}
+}

@@ -138,5 +138,8 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintln(w, "# HELP servd_store_segments Journal segments on disk.")
 		fmt.Fprintln(w, "# TYPE servd_store_segments gauge")
 		fmt.Fprintf(w, "servd_store_segments %d\n", stats.Segments)
+		fmt.Fprintln(w, "# HELP servd_store_discarded_bytes Torn-tail bytes discarded when the journal was opened.")
+		fmt.Fprintln(w, "# TYPE servd_store_discarded_bytes gauge")
+		fmt.Fprintf(w, "servd_store_discarded_bytes %d\n", stats.DiscardedBytes)
 	}
 }

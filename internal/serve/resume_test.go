@@ -112,6 +112,9 @@ func TestSweepResumeAcrossRequestsAndRestart(t *testing.T) {
 	if got := metricValue(t, metrics, "servd_store_records"); got != 4 {
 		t.Fatalf("servd_store_records = %d, want 4", got)
 	}
+	if got := metricValue(t, metrics, "servd_store_discarded_bytes"); got != 0 {
+		t.Fatalf("servd_store_discarded_bytes = %d on a clean journal, want 0", got)
+	}
 	ts.Close()
 	st.Close()
 

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestSecondOpenRejected: while one handle owns a store directory, a
+// second Open of the same directory — what a misconfigured second
+// worker process would do — fails with ErrLocked instead of letting two
+// writers interleave appends into one segment. Closing the first handle
+// releases the directory.
+func TestSecondOpenRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Open(dir, Options{})
+	if err == nil {
+		second.Close()
+		t.Fatal("second Open of a live store directory succeeded")
+	}
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open failed with %v, want ErrLocked", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{}) // lock released with the handle
+	defer s.Close()
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("reopened store lost record: (%q, %v)", v, ok)
+	}
+}
+
+// TestPutAfterDirectoryRemoved: removing the store directory under a
+// live handle makes the next Put fail with a structured *StaleError
+// instead of silently journaling into an unlinked file whose bytes
+// would evaporate at Close.
+func TestPutAfterDirectoryRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("before", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Put("after", []byte("v"))
+	var se *StaleError
+	if !errors.As(err, &se) {
+		t.Fatalf("Put into removed directory = %v, want *StaleError", err)
+	}
+	if se.Dir != dir {
+		t.Fatalf("StaleError.Dir = %q, want %q", se.Dir, dir)
+	}
+	if faults.Retryable(err) {
+		t.Fatal("stale-handle error is marked retryable; retrying cannot help")
+	}
+	// The index keeps serving what was acknowledged before the loss.
+	if !s.Has("before") || s.Has("after") {
+		t.Fatalf("index state after stale Put: before=%v after=%v", s.Has("before"), s.Has("after"))
+	}
+	s.Close()
+}
+
+// TestPutAfterSegmentReplaced: swapping the active segment file (same
+// path, different inode) is also detected — the handle no longer backs
+// the file readers will replay.
+func TestPutAfterSegmentReplaced(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(dir, 0)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Put("k2", []byte("v"))
+	var se *StaleError
+	if !errors.As(err, &se) {
+		t.Fatalf("Put after segment replacement = %v, want *StaleError", err)
+	}
+	s.Close()
+}
+
+func segPath(dir string, n int) string { return dir + "/" + segName(n) }

@@ -1,0 +1,30 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const lockName = "store.lock"
+
+// acquireLock on non-unix platforms falls back to O_EXCL lock-file
+// creation: weaker than flock (a crash leaves the file behind and the
+// next Open steals it), but it still rejects a concurrent live opener
+// in the common case. All supported deployments are unix.
+func acquireLock(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file: %w", err)
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

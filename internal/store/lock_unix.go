@@ -1,0 +1,41 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockName is the advisory lock file guarding single-writer access to a
+// store directory. It holds no data; only its flock state matters.
+const lockName = "store.lock"
+
+// acquireLock takes the store directory's exclusive advisory lock. The
+// kernel releases flocks when the holding process dies — SIGKILL
+// included — so a crashed sweep never wedges its journal, while a
+// *live* second opener (another worker pointed at the same -store, or a
+// double Open in one process) fails fast with ErrLocked instead of two
+// writers interleaving appends into one segment.
+func acquireLock(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s held: %w", path, ErrLocked)
+	}
+	return f, nil
+}
+
+// releaseLock drops the advisory lock; closing the descriptor releases
+// the flock.
+func releaseLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestMergeSkipsPresentKeys: Merge appends absent keys, skips present
+// ones, and counts both — the idempotence contract distributed uploads
+// rely on.
+func TestMergeSkipsPresentKeys(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	if err := s.Put("a", []byte("va")); err != nil {
+		t.Fatal(err)
+	}
+	added, skipped, err := s.Merge([]Record{
+		{Key: "a", Value: []byte("DIFFERENT")},
+		{Key: "b", Value: []byte("vb")},
+		{Key: "c", Value: []byte("vc")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 || skipped != 1 {
+		t.Fatalf("Merge = (added %d, skipped %d), want (2, 1)", added, skipped)
+	}
+	// The present key keeps its original bytes: first write wins under
+	// Merge, unlike Put's last-write-wins.
+	if v, _ := s.Get("a"); string(v) != "va" {
+		t.Fatalf("merged over existing key: %q", v)
+	}
+	if v, _ := s.Get("b"); string(v) != "vb" {
+		t.Fatalf("merged key b = %q", v)
+	}
+	st := s.Stats()
+	if st.MergeAdded != 2 || st.MergeSkipped != 1 {
+		t.Fatalf("stats = added %d skipped %d, want 2/1", st.MergeAdded, st.MergeSkipped)
+	}
+	// Re-merging the same batch is a no-op: everything dedups.
+	added, skipped, err = s.Merge([]Record{{Key: "b", Value: []byte("vb")}, {Key: "c", Value: []byte("vc")}})
+	if err != nil || added != 0 || skipped != 2 {
+		t.Fatalf("re-merge = (%d, %d, %v), want (0, 2, nil)", added, skipped, err)
+	}
+}
+
+// TestMergeConcurrentNoDoubleAppend: overlapping concurrent Merge
+// batches append each key exactly once.
+func TestMergeConcurrentNoDoubleAppend(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	batch := make([]Record, 50)
+	for i := range batch {
+		batch[i] = Record{Key: fmt.Sprintf("k%02d", i), Value: []byte("v")}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Merge(batch); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Appends != 50 {
+		t.Fatalf("%d appends for 50 distinct keys merged 8 ways", st.Appends)
+	}
+	if st.MergeAdded != 50 || st.MergeSkipped != 7*50 {
+		t.Fatalf("merge counters added=%d skipped=%d, want 50/350", st.MergeAdded, st.MergeSkipped)
+	}
+}
+
+// TestScanReportsSegmentsAndKeys: Scan re-verifies frames read-only and
+// reports per-segment and per-key detail, including re-appends and a
+// torn tail.
+func TestScanReportsSegmentsAndKeys(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i%4), []byte(fmt.Sprintf("value-%02d-%032d", i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	rep, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records() != 4 {
+		t.Fatalf("Scan found %d distinct keys, want 4", rep.Records())
+	}
+	if rep.Appends != 10 {
+		t.Fatalf("Scan found %d appends, want 10", rep.Appends)
+	}
+	if len(rep.Segments) < 2 {
+		t.Fatalf("Scan found %d segments, want rotation to have produced >= 2", len(rep.Segments))
+	}
+	if rep.TornBytes() != 0 {
+		t.Fatalf("clean journal scanned %d torn bytes", rep.TornBytes())
+	}
+	appends := 0
+	for _, k := range rep.Keys {
+		appends += k.Appends
+	}
+	if appends != 10 {
+		t.Fatalf("per-key appends sum to %d, want 10", appends)
+	}
+
+	// Tear the last segment's tail: Scan must report the torn bytes
+	// without repairing the file.
+	last := filepath.Join(dir, rep.Segments[len(rep.Segments)-1].Name)
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rep2, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TornBytes() != 3 {
+		t.Fatalf("Scan reported %d torn bytes, want 3", rep2.TornBytes())
+	}
+	if rep2.Appends != 10 {
+		t.Fatalf("torn tail changed verified append count to %d", rep2.Appends)
+	}
+	if st2, _ := os.Stat(last); st2.Size() != st.Size()+3 {
+		t.Fatal("Scan repaired the file; it must be read-only")
+	}
+}

@@ -75,6 +75,29 @@ const (
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// ErrLocked is returned by Open when another live process (or another
+// open handle in this one) holds the store directory. Exactly one
+// writer may own a journal at a time; the lock is released by Close and
+// by process death — including SIGKILL — so crash-then-reopen never
+// needs manual cleanup.
+var ErrLocked = errors.New("store: directory locked by another process")
+
+// StaleError is returned by Put when the active segment on disk is no
+// longer the file this store opened — the directory was removed or
+// replaced under a live handle. Appends to an unlinked file would
+// otherwise succeed silently and the records would evaporate with the
+// final close; detecting it turns silent data loss into a structured,
+// non-retryable failure.
+type StaleError struct {
+	Dir     string // store root directory
+	Segment string // active segment file name
+	Reason  string // what the liveness probe found
+}
+
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("store: stale journal handle for %s/%s: %s", e.Dir, e.Segment, e.Reason)
+}
+
 // Options configures Open. The zero value is production-ready.
 type Options struct {
 	// SegmentBytes rotates the active segment once it reaches this size
@@ -94,18 +117,23 @@ type Stats struct {
 	Records        int    // distinct keys held
 	Appends        uint64 // records appended this process
 	Segments       int    // journal segments on disk
-	TruncatedBytes int64  // torn-tail bytes discarded at Open
+	DiscardedBytes int64  // torn-tail bytes discarded at Open
 	TornWrites     uint64 // injected torn writes repaired in place
+	MergeAdded     uint64 // records Merge appended (absent keys)
+	MergeSkipped   uint64 // records Merge deduplicated (present keys)
 }
 
 // Store is a content-addressed append-only result store. All methods
 // are safe for concurrent use; appends serialize internally.
 type Store struct {
 	mu      sync.Mutex
+	mergeMu sync.Mutex // serializes Merge batches (see merge.go)
 	dir     string
 	opt     Options
-	f       *os.File // active segment, opened append-only
-	segIdx  int      // ordinal of the active segment
+	lock    *os.File    // flocked store.lock guarding single-writer access
+	f       *os.File    // active segment, opened append-only
+	fi      os.FileInfo // identity of f at open, for stale-handle detection
+	segIdx  int         // ordinal of the active segment
 	segSize int64
 	nseg    int
 	index   map[string][]byte
@@ -113,6 +141,8 @@ type Store struct {
 	appends uint64
 	torn    uint64
 	trunc   int64
+	mergeAdd  uint64
+	mergeSkip uint64
 	closed  bool
 }
 
@@ -126,18 +156,25 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
+	}
 	s := &Store{
 		dir:    dir,
 		opt:    opt,
+		lock:   lock,
 		index:  make(map[string][]byte),
 		putSeq: make(map[string]int),
 	}
 	segs, err := listSegments(dir)
 	if err != nil {
+		releaseLock(lock)
 		return nil, err
 	}
 	for _, seg := range segs {
 		if err := s.replay(filepath.Join(dir, segName(seg))); err != nil {
+			releaseLock(lock)
 			return nil, err
 		}
 	}
@@ -150,6 +187,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		s.nseg = 1 // openSegment creates journal-00000000.seg
 	}
 	if err := s.openSegment(); err != nil {
+		releaseLock(lock)
 		return nil, err
 	}
 	return s, nil
@@ -258,7 +296,26 @@ func (s *Store) openSegment() error {
 		return fmt.Errorf("store: stat segment: %w", err)
 	}
 	s.f = f
+	s.fi = st
 	s.segSize = st.Size()
+	return nil
+}
+
+// checkLive verifies the active segment on disk is still the file this
+// store holds open. A removed or replaced directory leaves the handle
+// pointing at an unlinked inode: writes would succeed and vanish.
+// Caller holds s.mu.
+func (s *Store) checkLive() error {
+	path := filepath.Join(s.dir, segName(s.segIdx))
+	st, err := os.Stat(path)
+	switch {
+	case os.IsNotExist(err):
+		return &StaleError{Dir: s.dir, Segment: segName(s.segIdx), Reason: "segment no longer exists"}
+	case err != nil:
+		return &StaleError{Dir: s.dir, Segment: segName(s.segIdx), Reason: err.Error()}
+	case !os.SameFile(s.fi, st):
+		return &StaleError{Dir: s.dir, Segment: segName(s.segIdx), Reason: "segment replaced by another file"}
+	}
 	return nil
 }
 
@@ -279,6 +336,9 @@ func (s *Store) Put(key string, value []byte) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if err := s.checkLive(); err != nil {
+		return err
 	}
 	attempt := s.putSeq[key] + 1
 	s.putSeq[key] = attempt
@@ -390,8 +450,10 @@ func (s *Store) Stats() Stats {
 		Records:        len(s.index),
 		Appends:        s.appends,
 		Segments:       s.nseg,
-		TruncatedBytes: s.trunc,
+		DiscardedBytes: s.trunc,
 		TornWrites:     s.torn,
+		MergeAdded:     s.mergeAdd,
+		MergeSkipped:   s.mergeSkip,
 	}
 }
 
@@ -404,6 +466,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	defer releaseLock(s.lock)
 	if s.opt.Sync {
 		if err := s.f.Sync(); err != nil {
 			s.f.Close()

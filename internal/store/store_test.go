@@ -136,8 +136,8 @@ func TestTornTailTruncatedAtEveryOffset(t *testing.T) {
 		if wantRecords > 0 {
 			wantTrunc = cut - offsets[wantRecords-1]
 		}
-		if s.Stats().TruncatedBytes != wantTrunc {
-			t.Fatalf("cut %d: TruncatedBytes = %d, want %d", cut, s.Stats().TruncatedBytes, wantTrunc)
+		if s.Stats().DiscardedBytes != wantTrunc {
+			t.Fatalf("cut %d: DiscardedBytes = %d, want %d", cut, s.Stats().DiscardedBytes, wantTrunc)
 		}
 		// The journal must accept appends after repair.
 		if err := s.Put("post-crash", []byte("ok")); err != nil {
@@ -256,8 +256,8 @@ func TestInjectedTornWriteRepairsInPlace(t *testing.T) {
 	s.Close()
 	// Reopen clean: every acknowledged record present, nothing torn.
 	s = mustOpen(t, dir, Options{})
-	if st := s.Stats(); st.TruncatedBytes != 0 {
-		t.Fatalf("journal had %d torn bytes after in-place repairs", st.TruncatedBytes)
+	if st := s.Stats(); st.DiscardedBytes != 0 {
+		t.Fatalf("journal had %d torn bytes after in-place repairs", st.DiscardedBytes)
 	}
 	if !s.Has("good") || s.Len() != 21 {
 		t.Fatalf("reopened store has %d records (good present: %v), want 21", s.Len(), s.Has("good"))

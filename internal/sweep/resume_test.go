@@ -125,7 +125,7 @@ func TestKillResumeByteIdentical(t *testing.T) {
 				// and finish the sweep.
 				st = openStore(t, dir, store.Options{})
 				defer st.Close()
-				if st.Stats().TruncatedBytes == 0 {
+				if st.Stats().DiscardedBytes == 0 {
 					t.Fatal("reopen did not truncate the mangled tail")
 				}
 				stored := st.Len()
@@ -457,7 +457,7 @@ func TestChaosStoreTornWrites(t *testing.T) {
 	// Reopen: recovery must find only whole, acknowledged records.
 	st = openStore(t, dir, store.Options{})
 	defer st.Close()
-	if tb := st.Stats().TruncatedBytes; tb != 0 {
+	if tb := st.Stats().DiscardedBytes; tb != 0 {
 		t.Fatalf("torn-write repairs leaked %d bytes into the journal", tb)
 	}
 	ropt := resumeOptions()

@@ -473,8 +473,34 @@ dispatch:
 			})
 		}
 	}
-	s.aggregate(opt)
+	s.aggregate()
 	return s, nil
+}
+
+// Summarize folds per-job results (in deterministic job order) into a
+// Summary with scenario × mode aggregates and the failure count filled
+// in. It is how a distributed coordinator — which collects results over
+// HTTP rather than from its own worker pool — reports the same tables a
+// single-process Run would.
+func Summarize(results []Result) *Summary {
+	s := &Summary{Results: results}
+	s.aggregate()
+	return s
+}
+
+// ExecuteJob runs one job exactly as a sweep worker would: scheduled
+// faults fire at site "sweep/job" keyed by key, panics are isolated,
+// retryable failures respect opt.Retries/opt.RetryBackoff with seeded
+// jitter. It returns the final result (Err/FailKind set on failure) and
+// the number of attempts executed. Distributed workers
+// (internal/dist) call this so a leased job computes byte-identically
+// to the same job in a local sweep.
+func ExecuteJob(ctx context.Context, job Job, key string, cc *CircuitCache, opt Options) (Result, int) {
+	if opt.Expt.Lib == nil {
+		opt.Expt.Lib = library.Default()
+	}
+	res, attempts, _ := runJobRetry(ctx, job, key, cc, opt)
+	return res, attempts
 }
 
 // runJobRetry drives one job to success or a structured failure:
@@ -562,8 +588,8 @@ func runJobAttempt(job Job, key string, attempt int, cc *CircuitCache, opt Optio
 }
 
 // aggregate folds the per-job results into scenario × mode means, in the
-// order the options enumerate them.
-func (s *Summary) aggregate(opt Options) {
+// order the results enumerate them.
+func (s *Summary) aggregate() {
 	type key struct{ sc, mode string }
 	idx := map[key]int{}
 	for _, r := range s.Results {
