@@ -12,13 +12,18 @@
 //	storetool -keys results.db           # per-key appends and payload bytes
 //	storetool -key <hex> results.db      # print one record's value to stdout
 //	storetool -verify results.db         # exit 1 if any torn or corrupt bytes exist
+//	storetool -coord results.db          # decode the coordinator decision journal in results.db/coord
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
+	"repro/internal/dist"
 	"repro/internal/store"
 )
 
@@ -35,12 +40,17 @@ func run() error {
 		keys     = flag.Bool("keys", false, "list every key with its append count and payload bytes")
 		key      = flag.String("key", "", "print the stored value for this key to stdout")
 		verify   = flag.Bool("verify", false, "verification mode: exit nonzero if the journal holds torn or corrupt bytes")
+		coord    = flag.Bool("coord", false, "decode the coordinator decision journal in <store-dir>/coord: meta, quarantine, strike, and lease records")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: storetool [flags] <store-dir>")
 	}
 	dir := flag.Arg(0)
+
+	if *coord {
+		return dumpCoordJournal(dir)
+	}
 
 	rep, err := store.Scan(dir)
 	if err != nil {
@@ -97,4 +107,82 @@ func run() error {
 		return fmt.Errorf("journal holds %d torn/corrupt bytes (a writer crash mid-append, or disk damage); opening the store for writing will discard them", rep.TornBytes())
 	}
 	return nil
+}
+
+// dumpCoordJournal decodes the coordinator decision journal kept next
+// to a result store. It opens the journal for reading (taking its
+// writer lock), so it works only while no sweepd holds the journal
+// open.
+func dumpCoordJournal(dir string) error {
+	jdir := dist.JournalDir(dir)
+	st, err := store.Open(jdir, store.Options{})
+	if err != nil {
+		return fmt.Errorf("opening coordinator journal %s: %w", jdir, err)
+	}
+	defer st.Close()
+
+	keys := st.Keys()
+	sort.Strings(keys)
+	entries := make([]dist.JournalEntry, 0, len(keys))
+	counts := map[string]int{}
+	for _, k := range keys {
+		raw, ok := st.Get(k)
+		if !ok {
+			continue
+		}
+		e, err := dist.DecodeJournalRecord(k, raw)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, e)
+		counts[e.Type]++
+	}
+
+	fmt.Printf("coordinator journal %s\n", jdir)
+	fmt.Printf("  records:   %d (%d meta, %d lease, %d strike, %d quarantine, %d unknown)\n",
+		len(entries), counts["meta"], counts["lease"], counts["strike"], counts["quarantine"], counts["unknown"])
+
+	// Meta first, then verdicts, then the lease ledger.
+	for _, e := range entries {
+		if e.Type == "meta" {
+			fmt.Printf("  sweep:     config %s, %d restart(s)\n", e.Meta.ConfigHash[:12], e.Meta.Restarts)
+		}
+	}
+	for _, e := range entries {
+		if e.Type == "quarantine" {
+			q := e.Quarantine
+			fmt.Printf("  quarantine %s: %s sc=%s mode=%s seed=%d after %d strike(s) by %s\n",
+				shortKey(e.Key), q.Benchmark, q.Scenario, q.Mode, q.Seed, q.Strikes, strings.Join(q.Workers, ","))
+		}
+	}
+	for _, e := range entries {
+		if e.Type == "strike" {
+			fmt.Printf("  strike     %s: %d failure(s) by %s\n",
+				shortKey(e.Key), e.Strike.Count, strings.Join(e.Strike.Workers, ","))
+		}
+	}
+	for _, e := range entries {
+		if e.Type == "lease" {
+			l := e.Lease
+			state := "live until " + time.UnixMilli(l.ExpiryMs).Format(time.RFC3339)
+			if l.Released {
+				state = "released"
+			}
+			fmt.Printf("  lease      %-10s %-12s %2d job(s) granted %s, %s\n",
+				e.Key, l.Worker, len(l.Keys), time.UnixMilli(l.GrantedMs).Format(time.RFC3339), state)
+		}
+	}
+	for _, e := range entries {
+		if e.Type == "unknown" {
+			fmt.Printf("  unknown    %s\n", e.Key)
+		}
+	}
+	return nil
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
 }

@@ -75,11 +75,12 @@ func run() error {
 
 		coordinator = flag.String("coordinator", "", "join a sweepd coordinator at this URL as a worker instead of running a local sweep; job-defining flags are ignored (the coordinator's config is authoritative)")
 		workerID    = flag.String("worker-id", "", "worker name reported to the coordinator (default: host-pid)")
+		reconnect   = flag.Duration("reconnect-timeout", 0, "keep probing an unreachable coordinator for this long before giving up (0 = 60s default, negative = exit on first outage)")
 	)
 	flag.Parse()
 
 	if *coordinator != "" {
-		return runWorkerMode(*coordinator, *workerID, *storeDir, *retries, *backoff, *faultSpec, *faultSeed)
+		return runWorkerMode(*coordinator, *workerID, *storeDir, *retries, *backoff, *reconnect, *faultSpec, *faultSeed)
 	}
 
 	opt := sweep.DefaultOptions()
@@ -271,17 +272,18 @@ func run() error {
 // repeat until the coordinator reports the sweep complete. -store, if
 // given, is this worker's local journal — a restarted worker
 // re-delivers journaled results instead of recomputing them.
-func runWorkerMode(url, id, storeDir string, retries int, backoff time.Duration, faultSpec string, faultSeed int64) error {
+func runWorkerMode(url, id, storeDir string, retries int, backoff, reconnect time.Duration, faultSpec string, faultSeed int64) error {
 	plan, err := faults.Parse(faultSpec, faultSeed)
 	if err != nil {
 		return err
 	}
 	cfg := dist.WorkerConfig{
-		Coordinator:     url,
-		ID:              id,
-		JobRetries:      retries,
-		JobRetryBackoff: backoff,
-		Faults:          plan,
+		Coordinator:      url,
+		ID:               id,
+		JobRetries:       retries,
+		JobRetryBackoff:  backoff,
+		ReconnectTimeout: reconnect,
+		Faults:           plan,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
 		},
@@ -299,6 +301,10 @@ func runWorkerMode(url, id, storeDir string, retries int, backoff time.Duration,
 	stats, err := dist.RunWorker(ctx, cfg)
 	fmt.Fprintf(os.Stderr, "sweep: worker done: %d leases (%d lost), %d computed, %d local hits, %d uploaded, %d failed, %d retries\n",
 		stats.Leases, stats.LeasesLost, stats.Computed, stats.LocalHits, stats.Uploaded, stats.Failed, stats.Retried)
+	if stats.Reconnects > 0 || stats.Spilled > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: worker outages: %d reconnects, %d results spilled, %d redelivered\n",
+			stats.Reconnects, stats.Spilled, stats.Redelivered)
+	}
 	return err
 }
 

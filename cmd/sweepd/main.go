@@ -62,6 +62,8 @@ func run() error {
 		leaseTTL  = flag.Duration("lease-ttl", dist.DefaultLeaseTTL, "lease expiry without a heartbeat; a dead worker's jobs are reassigned after this")
 		chunk     = flag.Int("chunk", dist.DefaultChunkSize, "jobs per lease")
 		linger    = flag.Bool("linger", false, "keep serving after the sweep completes instead of exiting")
+		quarAfter = flag.Int("quarantine-after", 0, "quarantine a job after this many lease failures across distinct workers (0 = default 3, negative = never quarantine)")
+		specFact  = flag.Float64("speculate-factor", 0, "re-grant a straggling lease's jobs once its age exceeds this multiple of the p95 lease duration (0 = default 4, negative = never speculate)")
 		jsonl     = flag.String("jsonl", "", "write the completed sweep as one JSON object per job to this file ('-' for stdout)")
 		verbose   = flag.Bool("v", false, "print the per-job table at completion, not only the aggregates")
 		faultSpec = flag.String("fault-spec", "", "TESTING ONLY: deterministic fault-injection spec for the dist/merge site, e.g. error=0.2,torn=0.1")
@@ -119,12 +121,24 @@ func run() error {
 	log.Printf("sweepd: result store %s: %d records, %d segments (torn tail: %d bytes discarded)",
 		*storeDir, stats.Records, stats.Segments, stats.DiscardedBytes)
 
+	// The coordinator's own decisions (leases, strikes, quarantines) are
+	// journaled beside the results so a restarted sweepd rebuilds its
+	// tracker instead of re-leasing work live workers still hold.
+	journal, err := dist.OpenJournal(*storeDir, plan)
+	if err != nil {
+		return fmt.Errorf("opening coordinator journal: %w", err)
+	}
+	defer journal.Close()
+
 	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
-		Sweep:     opt,
-		Store:     st,
-		LeaseTTL:  *leaseTTL,
-		ChunkSize: *chunk,
-		Faults:    plan,
+		Sweep:           opt,
+		Store:           st,
+		Journal:         journal,
+		LeaseTTL:        *leaseTTL,
+		ChunkSize:       *chunk,
+		QuarantineAfter: *quarAfter,
+		SpeculateFactor: *specFact,
+		Faults:          plan,
 	})
 	if err != nil {
 		return err
@@ -132,6 +146,10 @@ func run() error {
 	status := c.Status()
 	log.Printf("sweepd: %d jobs (%d already journaled), lease ttl %v, %d jobs/lease",
 		status.Total, status.Done, *leaseTTL, *chunk)
+	if n := c.Restarts(); n > 0 {
+		log.Printf("sweepd: resumed coordinator generation %d over %s (quarantined so far: %d)",
+			n, dist.JournalDir(*storeDir), status.Quarantined)
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: c, ReadHeaderTimeout: 10 * time.Second}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -230,7 +230,7 @@ func TestChaosSweepSurvivesFaultsAndWorkerDeath(t *testing.T) {
 	if stats.MergeSkipped < 2 {
 		t.Fatalf("MergeSkipped = %d, want >= 2 (zombie dedup)", stats.MergeSkipped)
 	}
-	_, _, expired := c.tracker.counters()
+	_, _, expired, _ := c.tracker.counters()
 	if expired == 0 {
 		t.Fatal("no lease ever expired — the doomed worker's range was never reclaimed")
 	}

@@ -66,7 +66,7 @@ func TestTrackerLeaseLifecycle(t *testing.T) {
 	if tr.renew(l2.id) {
 		t.Fatal("renew of expired lease succeeded")
 	}
-	g, r, e := tr.counters()
+	g, r, e, _ := tr.counters()
 	if g != 3 || r != 1 || e != 2 {
 		t.Fatalf("counters granted=%d renewed=%d expired=%d, want 3/1/2", g, r, e)
 	}

@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/store"
+)
+
+// The coordinator journal makes the coordinator itself crash-safe. The
+// result store already makes *results* durable; what dies with a
+// kill -9'd coordinator is everything else it decided: which sweep this
+// journal belongs to, which leases are live and who holds them, how
+// many times each job has burned a lease, and which jobs are
+// quarantined. Those decisions are journaled as they are made, through
+// the same CRC-framed append-only store machinery as results (torn
+// tails truncate at reopen, frames are all-or-nothing), into a `coord`
+// subdirectory of the result store. A restarted coordinator pointed at
+// the same -store rebuilds its tracker exactly: done jobs stay done,
+// unexpired leases are honored for the same worker, strikes and
+// quarantine records persist, and the restart itself is counted.
+//
+// Journaling is best-effort with bounded retries: a coordinator that
+// cannot write its state journal degrades to the pre-journal behavior
+// (leases die with the process and are lazily re-leased) instead of
+// dying — the result store alone is sufficient for correctness, the
+// coordinator journal only narrows how much scheduling state a crash
+// loses. Chaos plans target journal writes at the JournalFaultSite
+// ("dist/coord-journal") via store.Options.FaultSite, so injected torn
+// journal frames exercise the same repair path a real mid-write crash
+// would.
+
+// JournalFaultSite is the fault-injection site for coordinator journal
+// writes. Open the journal store with this as store.Options.FaultSite
+// so a shared chaos plan can tear coordinator state frames
+// independently of result-store appends.
+const JournalFaultSite = "dist/coord-journal"
+
+// JournalDirName is the subdirectory of the result store that holds the
+// coordinator state journal.
+const JournalDirName = "coord"
+
+// Journal record key prefixes. Every record value is JSON; the key
+// prefix selects the type. Re-puts of one key are last-write-wins on
+// replay, which is exactly the update semantics renewals and strike
+// increments need.
+const (
+	journalKeyMeta       = "meta"        // JournalMeta
+	journalPrefixLease   = "lease/"      // + lease ID → LeaseRecord
+	journalPrefixStrike  = "strike/"     // + job content key → StrikeRecord
+	journalPrefixQuarant = "quarantine/" // + job content key → QuarantineRecord
+)
+
+// JournalMeta pins the journal to one sweep definition and counts
+// coordinator attachments.
+type JournalMeta struct {
+	// ConfigHash is the SHA-256 of the wire SweepConfig. A coordinator
+	// restarted against a journal whose hash differs refuses to start:
+	// the journal's leases and strikes describe a different job matrix.
+	ConfigHash string `json:"config_hash"`
+	// Restarts counts coordinators that attached to an already-written
+	// journal — i.e. recoveries after a crash or shutdown.
+	Restarts int `json:"restarts"`
+}
+
+// LeaseRecord is the durable form of one lease grant. It is re-put on
+// every renewal (advancing Expiry) and on release (setting Released),
+// so the last record for a lease ID is its final word.
+type LeaseRecord struct {
+	Worker    string   `json:"worker"`
+	Keys      []string `json:"keys"` // job content keys in the lease
+	GrantedMs int64    `json:"granted_ms"`
+	ExpiryMs  int64    `json:"expiry_ms"`
+	Released  bool     `json:"released,omitempty"`
+}
+
+// StrikeRecord accumulates lease failures per job: how many leases
+// covering this job expired or delivered a terminal failure, and which
+// workers were holding them.
+type StrikeRecord struct {
+	Count   int      `json:"count"`
+	Workers []string `json:"workers"`
+}
+
+// QuarantineRecord is the structured entry for a poison job: a job
+// whose leases failed often enough, across enough distinct workers,
+// that the coordinator excludes it rather than let it wedge the sweep.
+type QuarantineRecord struct {
+	Key       string   `json:"key"`
+	Benchmark string   `json:"benchmark"`
+	Scenario  string   `json:"scenario"`
+	Mode      string   `json:"mode"`
+	Seed      int64    `json:"seed"`
+	Strikes   int      `json:"strikes"`
+	Workers   []string `json:"workers"`
+}
+
+// JournalDir returns the coordinator journal directory for a result
+// store rooted at resultDir.
+func JournalDir(resultDir string) string {
+	return filepath.Join(resultDir, JournalDirName)
+}
+
+// OpenJournal opens (or creates) the coordinator state journal beside
+// the result store rooted at resultDir. The fault plan, if any, injects
+// at JournalFaultSite — including real torn frames repaired on reopen.
+func OpenJournal(resultDir string, plan *faults.Plan) (*store.Store, error) {
+	return store.Open(JournalDir(resultDir), store.Options{
+		Faults:    plan,
+		FaultSite: JournalFaultSite,
+	})
+}
+
+// configHash is the identity of a sweep definition on the wire.
+func configHash(wire []byte) string {
+	sum := sha256.Sum256(wire)
+	return hex.EncodeToString(sum[:])
+}
+
+// JournalEntry is one decoded coordinator journal record, for
+// inspection (storetool -coord).
+type JournalEntry struct {
+	Type       string // "meta", "lease", "strike", "quarantine", or "unknown"
+	Key        string // the ID the prefix scoped: lease ID, job key, ""
+	Meta       *JournalMeta
+	Lease      *LeaseRecord
+	Strike     *StrikeRecord
+	Quarantine *QuarantineRecord
+}
+
+// DecodeJournalRecord classifies and decodes one raw journal record by
+// its key prefix. Unknown prefixes decode to Type "unknown" rather than
+// erroring, so newer journals stay inspectable by older tools.
+func DecodeJournalRecord(key string, value []byte) (JournalEntry, error) {
+	switch {
+	case key == journalKeyMeta:
+		var m JournalMeta
+		if err := json.Unmarshal(value, &m); err != nil {
+			return JournalEntry{}, fmt.Errorf("dist: decoding journal meta: %w", err)
+		}
+		return JournalEntry{Type: "meta", Meta: &m}, nil
+	case strings.HasPrefix(key, journalPrefixLease):
+		var l LeaseRecord
+		if err := json.Unmarshal(value, &l); err != nil {
+			return JournalEntry{}, fmt.Errorf("dist: decoding lease record %s: %w", key, err)
+		}
+		return JournalEntry{Type: "lease", Key: strings.TrimPrefix(key, journalPrefixLease), Lease: &l}, nil
+	case strings.HasPrefix(key, journalPrefixStrike):
+		var s StrikeRecord
+		if err := json.Unmarshal(value, &s); err != nil {
+			return JournalEntry{}, fmt.Errorf("dist: decoding strike record %s: %w", key, err)
+		}
+		return JournalEntry{Type: "strike", Key: strings.TrimPrefix(key, journalPrefixStrike), Strike: &s}, nil
+	case strings.HasPrefix(key, journalPrefixQuarant):
+		var q QuarantineRecord
+		if err := json.Unmarshal(value, &q); err != nil {
+			return JournalEntry{}, fmt.Errorf("dist: decoding quarantine record %s: %w", key, err)
+		}
+		return JournalEntry{Type: "quarantine", Key: strings.TrimPrefix(key, journalPrefixQuarant), Quarantine: &q}, nil
+	}
+	return JournalEntry{Type: "unknown", Key: key}, nil
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -9,36 +10,77 @@ import (
 )
 
 // jobState is one job's position in the pending → leased → done walk.
-// A leased job whose lease expires returns to pending; done is
-// terminal (a later duplicate delivery is absorbed as a dedup, never a
-// state change).
+// A leased job whose lease expires returns to pending; done is terminal
+// (a later duplicate delivery is absorbed as a dedup, never a state
+// change). Quarantined is the second terminal state: the job's leases
+// failed too often across distinct workers, so the coordinator excludes
+// it — the sweep completes without it instead of wedging.
 type jobState int
 
 const (
 	statePending jobState = iota
 	stateLeased
 	stateDone
+	stateQuarantined
 )
 
 // lease is one live grant: a bounded set of job indices owned by one
 // worker until expiry.
 type lease struct {
-	id     string
-	worker string
-	jobs   []int // indices into tracker.jobs
-	expiry time.Time
+	id         string
+	worker     string
+	jobs       []int // indices into tracker.jobs
+	granted    time.Time
+	expiry     time.Time
+	speculated bool // straggler policy already re-granted this lease's jobs
 }
 
+// strike accumulates lease failures for one job: expiries and terminal
+// failure deliveries, with the workers that were holding the job.
+type strike struct {
+	count   int
+	workers map[string]bool
+}
+
+// trackerPolicy is the supervision configuration: when to quarantine a
+// job and when to speculatively re-execute a straggler's range.
+type trackerPolicy struct {
+	// quarantineAfter quarantines a job once its leases have failed
+	// (expired or delivered a terminal failure) this many times across
+	// at least two distinct workers — or twice this many times total,
+	// so a single-worker fleet cannot wedge on a poison job either.
+	// 0 disables quarantine: a terminal failure delivery completes the
+	// job as a failure record immediately (the pre-quarantine behavior).
+	quarantineAfter int
+	// speculateFactor re-grants a still-renewing lease's unfinished jobs
+	// once its age exceeds max(ttl, factor × p95 completed-lease
+	// duration) — the original worker keeps its lease and its eventual
+	// upload still merges (first write wins), but a second worker races
+	// it. <= 0 disables speculation.
+	speculateFactor float64
+	// speculateMinLeases is how many completed leases the p95 needs
+	// before speculation trusts it.
+	speculateMinLeases int
+}
+
+// journalFn receives durable state transitions: a journal record key
+// (lease/<id>, strike/<key>, quarantine/<key>) and its wire value. It
+// is called with the tracker lock held, in state-transition order. Nil
+// disables journaling.
+type journalFn func(key string, v any)
+
 // tracker is the coordinator's in-memory job ledger. All methods are
-// safe for concurrent use; expiry is lazy — every entry point first
-// sweeps expired leases back to pending, so no background timer is
-// needed and tests can drive time through the now hook.
+// safe for concurrent use; expiry and straggler detection are lazy —
+// every entry point first sweeps expired leases back to pending and
+// re-grants stragglers' jobs, so no background timer is needed and
+// tests can drive time through the now hook.
 type tracker struct {
 	mu    sync.Mutex
 	jobs  []sweep.Job
 	keys  []string       // content key per job, parallel to jobs
 	byKey map[string]int // key → job index
 	state []jobState
+	owner []string // lease ID currently responsible for a leased job
 
 	leases   map[string]*lease
 	leaseSeq int
@@ -47,32 +89,44 @@ type tracker struct {
 	done    int
 	failed  map[int]sweep.Result // terminal failures, by job index
 
-	ttl   time.Duration
-	chunk int
-	now   func() time.Time
+	strikes     map[int]*strike
+	quarantined map[int]QuarantineRecord
+
+	durations []time.Duration // completed-lease durations, for the straggler p95
+
+	ttl    time.Duration
+	chunk  int
+	now    func() time.Time
+	policy trackerPolicy
+
+	journal journalFn // nil during rebuild and in non-durable coordinators
 
 	doneCh   chan struct{}
 	complete bool
 
 	// Counters surfaced on /metrics.
-	granted uint64 // leases handed out
-	renewed uint64 // heartbeat renewals honored
-	expired uint64 // leases reclaimed after TTL lapse
+	granted    uint64 // leases handed out
+	renewed    uint64 // heartbeat renewals honored
+	expired    uint64 // leases reclaimed after TTL lapse
+	speculated uint64 // jobs re-granted past a straggling (still-renewing) lease
 }
 
 func newTracker(jobs []sweep.Job, keys []string, ttl time.Duration, chunk int, now func() time.Time) *tracker {
 	t := &tracker{
-		jobs:    jobs,
-		keys:    keys,
-		byKey:   make(map[string]int, len(jobs)),
-		state:   make([]jobState, len(jobs)),
-		leases:  make(map[string]*lease),
-		pending: len(jobs),
-		failed:  make(map[int]sweep.Result),
-		ttl:     ttl,
-		chunk:   chunk,
-		now:     now,
-		doneCh:  make(chan struct{}),
+		jobs:        jobs,
+		keys:        keys,
+		byKey:       make(map[string]int, len(jobs)),
+		state:       make([]jobState, len(jobs)),
+		owner:       make([]string, len(jobs)),
+		leases:      make(map[string]*lease),
+		pending:     len(jobs),
+		failed:      make(map[int]sweep.Result),
+		strikes:     make(map[int]*strike),
+		quarantined: make(map[int]QuarantineRecord),
+		ttl:         ttl,
+		chunk:       chunk,
+		now:         now,
+		doneCh:      make(chan struct{}),
 	}
 	for i, k := range keys {
 		// Duplicate content keys (same cell repeated in a degenerate
@@ -89,27 +143,115 @@ func newTracker(jobs []sweep.Job, keys []string, ttl time.Duration, chunk int, n
 	return t
 }
 
+// finishedLocked is the completion count: delivered plus quarantined.
+func (t *tracker) finishedLocked() int { return t.done + len(t.quarantined) }
+
+func (t *tracker) checkCompleteLocked() {
+	if t.finishedLocked() == len(t.jobs) && !t.complete {
+		t.complete = true
+		close(t.doneCh)
+	}
+}
+
 // markDoneLocked records a job as finished regardless of its current
 // state (a result can arrive for a job whose lease already expired and
 // was even re-leased elsewhere — the work is done either way).
+// Quarantined jobs stay quarantined: a late delivery still merged its
+// result into the store, but the scheduling verdict stands.
 func (t *tracker) markDoneLocked(idx int) bool {
 	switch t.state[idx] {
-	case stateDone:
+	case stateDone, stateQuarantined:
 		return false
 	case statePending:
 		t.pending--
 	}
 	t.state[idx] = stateDone
+	t.owner[idx] = ""
 	t.done++
-	if t.done == len(t.jobs) && !t.complete {
-		t.complete = true
-		close(t.doneCh)
-	}
+	t.checkCompleteLocked()
 	return true
 }
 
-// expireLocked reclaims every lease past its deadline, returning its
-// unfinished jobs to pending.
+// strikeLocked charges one lease failure against a job and either
+// quarantines it (threshold reached) or returns it to pending. Caller
+// has already detached the job from its lease (state is transitioning
+// out of stateLeased).
+func (t *tracker) strikeLocked(idx int, worker string) {
+	s := t.strikes[idx]
+	if s == nil {
+		s = &strike{workers: make(map[string]bool)}
+		t.strikes[idx] = s
+	}
+	s.count++
+	s.workers[worker] = true
+	t.journalPutLocked(journalPrefixStrike+t.keys[idx], StrikeRecord{Count: s.count, Workers: sortedWorkers(s.workers)})
+
+	n := t.policy.quarantineAfter
+	if n > 0 && ((s.count >= n && len(s.workers) >= 2) || s.count >= 2*n) {
+		t.quarantineLocked(idx, s)
+		return
+	}
+	t.state[idx] = statePending
+	t.owner[idx] = ""
+	t.pending++
+}
+
+// quarantineLocked moves a job into the quarantined terminal state and
+// journals the structured record.
+func (t *tracker) quarantineLocked(idx int, s *strike) {
+	j := t.jobs[idx]
+	rec := QuarantineRecord{
+		Key:       t.keys[idx],
+		Benchmark: j.Benchmark,
+		Scenario:  j.Scenario.String(),
+		Mode:      j.Mode.String(),
+		Seed:      j.Seed,
+		Strikes:   s.count,
+		Workers:   sortedWorkers(s.workers),
+	}
+	t.state[idx] = stateQuarantined
+	t.owner[idx] = ""
+	t.quarantined[idx] = rec
+	t.journalPutLocked(journalPrefixQuarant+t.keys[idx], rec)
+	t.checkCompleteLocked()
+}
+
+func sortedWorkers(ws map[string]bool) []string {
+	out := make([]string, 0, len(ws))
+	for w := range ws {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (t *tracker) journalPutLocked(key string, v any) {
+	if t.journal != nil {
+		t.journal(key, v)
+	}
+}
+
+func (t *tracker) journalLeaseLocked(l *lease, released bool) {
+	if t.journal == nil {
+		return
+	}
+	keys := make([]string, len(l.jobs))
+	for i, idx := range l.jobs {
+		keys[i] = t.keys[idx]
+	}
+	t.journal(journalPrefixLease+l.id, LeaseRecord{
+		Worker:    l.worker,
+		Keys:      keys,
+		GrantedMs: l.granted.UnixMilli(),
+		ExpiryMs:  l.expiry.UnixMilli(),
+		Released:  released,
+	})
+}
+
+// expireLocked reclaims every lease past its deadline: each unfinished
+// job still owned by the dying lease takes a strike (quarantining it at
+// the threshold) or returns to pending. It then runs the straggler
+// sweep, so every tracker entry point applies both policies.
 func (t *tracker) expireLocked() {
 	now := t.now()
 	for id, l := range t.leases {
@@ -119,30 +261,78 @@ func (t *tracker) expireLocked() {
 		delete(t.leases, id)
 		t.expired++
 		for _, idx := range l.jobs {
-			if t.state[idx] == stateLeased {
+			if t.state[idx] == stateLeased && t.owner[idx] == id {
+				t.strikeLocked(idx, l.worker)
+			}
+		}
+	}
+	t.speculateLocked(now)
+}
+
+// speculateLocked re-grants the unfinished jobs of stragglers: leases
+// that keep renewing (so never expire) but have outlived
+// max(ttl, factor × p95 completed-lease duration). The lease itself
+// survives — its worker keeps computing and its upload still merges
+// first-write-wins — but its jobs return to pending so another worker
+// can race it. Duplicate execution is safe by construction
+// (store.Merge dedups), so a false positive costs one redundant
+// computation, never a wrong result.
+func (t *tracker) speculateLocked(now time.Time) {
+	f := t.policy.speculateFactor
+	if f <= 0 || len(t.durations) < t.policy.speculateMinLeases {
+		return
+	}
+	threshold := time.Duration(f * float64(t.p95Locked()))
+	if threshold < t.ttl {
+		threshold = t.ttl
+	}
+	for id, l := range t.leases {
+		if l.speculated || now.Sub(l.granted) <= threshold {
+			continue
+		}
+		l.speculated = true
+		for _, idx := range l.jobs {
+			if t.state[idx] == stateLeased && t.owner[idx] == id {
 				t.state[idx] = statePending
+				t.owner[idx] = ""
 				t.pending++
+				t.speculated++
 			}
 		}
 	}
 }
 
+// p95Locked is the 95th-percentile completed-lease duration.
+func (t *tracker) p95Locked() time.Duration {
+	ds := append([]time.Duration(nil), t.durations...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	i := (len(ds)*95 + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return ds[i]
+}
+
 // releaseLocked tears a lease down after a successful upload: jobs the
 // worker did not deliver (a partial upload after losing the race to a
 // reassignment, or a deliberate abandon) go straight back to pending
-// instead of waiting out the TTL.
+// instead of waiting out the TTL. The lease's lifetime feeds the
+// straggler p95.
 func (t *tracker) releaseLocked(id string) {
 	l, ok := t.leases[id]
 	if !ok {
 		return
 	}
 	delete(t.leases, id)
+	t.durations = append(t.durations, t.now().Sub(l.granted))
 	for _, idx := range l.jobs {
-		if t.state[idx] == stateLeased {
+		if t.state[idx] == stateLeased && t.owner[idx] == id {
 			t.state[idx] = statePending
+			t.owner[idx] = ""
 			t.pending++
 		}
 	}
+	t.journalLeaseLocked(l, true)
 }
 
 // grant hands out up to chunk pending jobs under a fresh lease. It
@@ -159,28 +349,38 @@ func (t *tracker) grant(worker string) (*lease, bool) {
 	if t.pending == 0 {
 		return nil, false
 	}
-	l := &lease{worker: worker, expiry: t.now().Add(t.ttl)}
+	now := t.now()
+	t.leaseSeq++
+	l := &lease{
+		id:      fmt.Sprintf("lease-%d", t.leaseSeq),
+		worker:  worker,
+		granted: now,
+		expiry:  now.Add(t.ttl),
+	}
 	for idx := range t.jobs {
 		if t.state[idx] != statePending {
 			continue
 		}
 		t.state[idx] = stateLeased
+		t.owner[idx] = l.id
 		t.pending--
 		l.jobs = append(l.jobs, idx)
 		if len(l.jobs) == t.chunk {
 			break
 		}
 	}
-	t.leaseSeq++
-	l.id = fmt.Sprintf("lease-%d", t.leaseSeq)
 	t.leases[l.id] = l
 	t.granted++
+	t.journalLeaseLocked(l, false)
 	return l, false
 }
 
 // renew extends a lease's deadline. False means the lease is gone —
 // expired and possibly reassigned — and the worker should abandon the
-// range (its eventual upload is still accepted and deduped).
+// range (its eventual upload is still accepted and deduped). A renewal
+// arriving at exactly the TTL boundary loses: expiry is exclusive, so
+// the race between renew and lazy expiry resolves definitively — the
+// worker observes lease-lost, never a silent double grant.
 func (t *tracker) renew(id string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -191,6 +391,7 @@ func (t *tracker) renew(id string) bool {
 	}
 	l.expiry = t.now().Add(t.ttl)
 	t.renewed++
+	t.journalLeaseLocked(l, false)
 	return true
 }
 
@@ -215,6 +416,32 @@ func (t *tracker) markDone(idx int, failure *sweep.Result) bool {
 	return first
 }
 
+// markFailed handles a delivered terminal-failure record. With
+// quarantine off it completes the job as a failure, exactly as before.
+// With quarantine on it charges a strike instead: the job returns to
+// pending so a different worker retries it, and only the quarantine
+// threshold makes the failure terminal — one worker's broken
+// environment cannot fail a job the rest of the fleet could compute.
+func (t *tracker) markFailed(idx int, worker string, failure *sweep.Result) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.policy.quarantineAfter <= 0 {
+		if t.markDoneLocked(idx) && failure != nil {
+			t.failed[idx] = *failure
+		}
+		return
+	}
+	switch t.state[idx] {
+	case stateDone, stateQuarantined:
+		return
+	case statePending:
+		// Already back in the pool (the delivering lease expired first);
+		// still counts as a failed execution.
+		t.pending--
+	}
+	t.strikeLocked(idx, worker)
+}
+
 // release is the exported form of releaseLocked.
 func (t *tracker) release(id string) {
 	t.mu.Lock()
@@ -234,19 +461,97 @@ func (t *tracker) status() StatusResponse {
 		}
 	}
 	return StatusResponse{
-		Total:    len(t.jobs),
-		Done:     t.done,
-		Pending:  t.pending,
-		Leased:   leased,
-		Failed:   len(t.failed),
-		Workers:  len(t.leases),
-		Complete: t.complete,
+		Total:       len(t.jobs),
+		Done:        t.done,
+		Pending:     t.pending,
+		Leased:      leased,
+		Failed:      len(t.failed),
+		Quarantined: len(t.quarantined),
+		Workers:     len(t.leases),
+		Complete:    t.complete,
 	}
 }
 
 // counters snapshots the lease counters for /metrics.
-func (t *tracker) counters() (granted, renewed, expired uint64) {
+func (t *tracker) counters() (granted, renewed, expired, speculated uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.granted, t.renewed, t.expired
+	return t.granted, t.renewed, t.expired, t.speculated
+}
+
+// quarantineRecords snapshots the quarantine ledger by job index.
+func (t *tracker) quarantineRecords() map[int]QuarantineRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]QuarantineRecord, len(t.quarantined))
+	for i, r := range t.quarantined {
+		out[i] = r
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Journal rebuild. Called by NewCoordinator before the tracker serves
+// requests (and before t.journal is attached, so replay never
+// re-journals itself).
+
+// restoreStrike reloads one job's strike count from the journal.
+func (t *tracker) restoreStrike(idx int, rec StrikeRecord) {
+	s := &strike{count: rec.Count, workers: make(map[string]bool, len(rec.Workers))}
+	for _, w := range rec.Workers {
+		s.workers[w] = true
+	}
+	t.strikes[idx] = s
+}
+
+// restoreQuarantine reloads one quarantined job. Jobs already done
+// (their result reached the store before or after the verdict) stay
+// done — the result is real even if the scheduler gave up on the job.
+func (t *tracker) restoreQuarantine(idx int, rec QuarantineRecord) {
+	if t.state[idx] == stateDone {
+		return
+	}
+	if t.state[idx] == statePending {
+		t.pending--
+	}
+	t.state[idx] = stateQuarantined
+	t.owner[idx] = ""
+	t.quarantined[idx] = rec
+	t.checkCompleteLocked()
+}
+
+// restoreLease reloads one live lease: same worker, same ID, original
+// grant time and expiry. Jobs already finished are skipped; a lease
+// whose jobs all finished is still honored so the worker's heartbeats
+// and final upload land normally. Expired or released records are the
+// caller's to skip.
+func (t *tracker) restoreLease(id string, rec LeaseRecord) {
+	l := &lease{
+		id:      id,
+		worker:  rec.Worker,
+		granted: time.UnixMilli(rec.GrantedMs),
+		expiry:  time.UnixMilli(rec.ExpiryMs),
+	}
+	for _, k := range rec.Keys {
+		idx, ok := t.byKey[k]
+		if !ok || t.state[idx] != statePending {
+			continue
+		}
+		t.state[idx] = stateLeased
+		t.owner[idx] = id
+		t.pending--
+		l.jobs = append(l.jobs, idx)
+	}
+	t.leases[id] = l
+	t.bumpLeaseSeqLocked(id)
+}
+
+// bumpLeaseSeqLocked keeps fresh lease IDs unique past a journaled one:
+// reusing a dead lease's ID would let its orphaned worker renew someone
+// else's grant.
+func (t *tracker) bumpLeaseSeqLocked(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "lease-%d", &n); err == nil && n > t.leaseSeq {
+		t.leaseSeq = n
+	}
 }

@@ -147,9 +147,13 @@ func (s JobSpec) Job() (sweep.Job, error) {
 	return sweep.Job{Index: s.Index, Benchmark: s.Benchmark, Scenario: sc, Mode: m, Seed: s.Seed}, nil
 }
 
-// LeaseRequest asks for a job range.
+// LeaseRequest asks for a job range. Reconnected marks the first lease
+// request after the worker survived a coordinator outage (it
+// revalidated the config hash and reattached); the coordinator counts
+// these on /metrics.
 type LeaseRequest struct {
-	Worker string `json:"worker"`
+	Worker      string `json:"worker"`
+	Reconnected bool   `json:"reconnected,omitempty"`
 }
 
 // LeaseResponse grants a lease, reports completion, or asks the worker
@@ -205,12 +209,13 @@ type UploadResponse struct {
 
 // StatusResponse is the coordinator's progress snapshot.
 type StatusResponse struct {
-	Total   int `json:"total"`
-	Done    int `json:"done"`
-	Pending int `json:"pending"`
-	Leased  int `json:"leased"`
-	Failed  int `json:"failed"`
-	Workers int `json:"workers"` // live leases
+	Total       int `json:"total"`
+	Done        int `json:"done"`
+	Pending     int `json:"pending"`
+	Leased      int `json:"leased"`
+	Failed      int `json:"failed"`
+	Quarantined int `json:"quarantined"` // poison jobs excluded from the sweep
+	Workers     int `json:"workers"`     // live leases
 
 	Complete bool `json:"complete"`
 }
@@ -227,3 +232,26 @@ const DefaultChunkSize = 8
 // DefaultRetryMs is how long a worker waits before re-polling when all
 // remaining jobs are leased to someone else.
 const DefaultRetryMs = 250
+
+// DefaultQuarantineAfter is the poison-job threshold: a job whose
+// leases fail this many times across at least two distinct workers
+// (or twice this many times total) is quarantined.
+const DefaultQuarantineAfter = 3
+
+// DefaultSpeculateFactor triggers straggler re-execution once a
+// still-renewing lease has outlived this multiple of the p95
+// completed-lease duration (never less than one TTL).
+const DefaultSpeculateFactor = 4.0
+
+// DefaultSpeculateMinLeases is how many leases must complete before the
+// p95 is trusted for straggler detection.
+const DefaultSpeculateMinLeases = 3
+
+// DefaultReconnectTimeout bounds how long a worker keeps trying to
+// reattach to an unreachable coordinator before concluding it is gone
+// for good and exiting cleanly.
+const DefaultReconnectTimeout = 60 * time.Second
+
+// maxReconnectBackoff caps the exponential backoff between reconnect
+// probes.
+const maxReconnectBackoff = 5 * time.Second

@@ -37,10 +37,18 @@ type WorkerConfig struct {
 	// exponential backoff between them (default 100ms).
 	RPCRetries int
 	RPCBackoff time.Duration
+	// ReconnectTimeout bounds how long the worker keeps probing an
+	// unreachable coordinator before concluding it is gone for good and
+	// exiting cleanly (default DefaultReconnectTimeout; negative
+	// disables reconnection entirely — the first exhausted retry budget
+	// is a clean exit, the pre-reconnect behavior). The budget covers
+	// *continuous* downtime: any successful probe resets it.
+	ReconnectTimeout time.Duration
 	// Faults injects at the worker-side sites: dist/lease (lost lease
 	// RPCs), dist/heartbeat (dropped renewals — the lease expires and
 	// the range is reassigned), dist/upload (failed deliveries,
-	// retried with a fresh attempt number).
+	// retried with a fresh attempt number), dist/reconnect (failed
+	// reconnect probes, stretching a simulated coordinator outage).
 	Faults *faults.Plan
 	// Client overrides the HTTP client (default: http.DefaultClient
 	// semantics with a 30s timeout).
@@ -51,31 +59,51 @@ type WorkerConfig struct {
 
 // WorkerStats summarizes one RunWorker call.
 type WorkerStats struct {
-	Leases     int // leases processed to completion
-	LeasesLost int // leases abandoned after the coordinator reclaimed them
-	Computed   int // jobs computed locally
-	LocalHits  int // jobs served from the local journal
-	Failed     int // jobs that ended in a terminal failure record
-	Uploaded   int // result records delivered
-	Retried    int // extra sweep-engine attempts spent on transient job failures
+	Leases      int // leases processed to completion
+	LeasesLost  int // leases abandoned after the coordinator reclaimed them
+	Computed    int // jobs computed locally
+	LocalHits   int // jobs served from the local journal
+	Failed      int // jobs that ended in a terminal failure record
+	Uploaded    int // result records delivered
+	Retried     int // extra sweep-engine attempts spent on transient job failures
+	Reconnects  int // coordinator outages survived (config revalidated on reattach)
+	Spilled     int // records held locally when the coordinator went away mid-upload
+	Redelivered int // spilled records delivered after a reconnect
+}
+
+// spilledUpload is a lease's worth of results that was computed but
+// never acknowledged before the coordinator became unreachable. It is
+// re-delivered verbatim after a reconnect; the coordinator's merge
+// dedups anything a replacement worker got there first.
+type spilledUpload struct {
+	leaseID string
+	records []UploadRecord
 }
 
 // worker is the runtime state behind RunWorker.
 type worker struct {
-	cfg    WorkerConfig
-	client *http.Client
-	base   string
-	opt    sweep.Options
-	cc     *sweep.CircuitCache
-	stats  WorkerStats
+	cfg         WorkerConfig
+	client      *http.Client
+	base        string
+	opt         sweep.Options
+	cc          *sweep.CircuitCache
+	stats       WorkerStats
+	confHash    string // hash of the sweep definition this worker joined
+	spill       []spilledUpload
+	reconnected bool // next lease request reports a survived outage
 }
 
 // RunWorker joins the coordinator's sweep and processes leases until
-// the sweep completes or ctx is canceled. A coordinator that vanishes
-// mid-run — it finished the sweep and exited, or crashed (its journal
-// resumes on restart) — is a clean exit once the lease RPC's retry
-// budget is exhausted; failing the initial config fetch or a result
-// upload is an error. It always returns the stats accumulated so far.
+// the sweep completes or ctx is canceled. A coordinator that becomes
+// unreachable mid-run is not fatal: the worker spills any
+// computed-but-unacknowledged results, probes the config endpoint with
+// capped exponential backoff for up to ReconnectTimeout, revalidates
+// that the coordinator still serves the same sweep definition, and
+// resumes — re-delivering the spill first. Only a coordinator that
+// stays down past the budget (it finished the sweep and exited, or is
+// gone for good) is a clean exit; one that comes back serving a
+// *different* sweep is a terminal error. It always returns the stats
+// accumulated so far.
 func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerStats, error) {
 	if cfg.Coordinator == "" {
 		return &WorkerStats{}, errors.New("dist: worker requires a coordinator URL")
@@ -89,6 +117,9 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerStats, error) {
 	}
 	if cfg.RPCBackoff <= 0 {
 		cfg.RPCBackoff = 100 * time.Millisecond
+	}
+	if cfg.ReconnectTimeout == 0 {
+		cfg.ReconnectTimeout = DefaultReconnectTimeout
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -118,31 +149,63 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerStats, error) {
 	opt.RetryBackoff = cfg.JobRetryBackoff
 	opt.Faults = cfg.Faults
 	w.opt = opt
+	raw, err := json.Marshal(wireCfg)
+	if err != nil {
+		return &w.stats, fmt.Errorf("dist: hashing config: %w", err)
+	}
+	w.confHash = configHash(raw)
+
+	// survive turns an exhausted RPC retry budget into either a
+	// successful reconnect (true), a give-up clean exit (false, nil), or
+	// a terminal error (ctx canceled, or the coordinator came back
+	// serving a different sweep).
+	survive := func(cause error) (bool, error) {
+		ok, err := w.reconnect(ctx, cause)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			cfg.Logf("worker %s: coordinator gone (%v); exiting with %d spilled records undelivered",
+				cfg.ID, cause, spillCount(w.spill))
+		}
+		return ok, nil
+	}
 
 	leaseSeq := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return &w.stats, err
 		}
+		// Spilled results from before an outage go out before any new
+		// lease: the coordinator may be waiting on exactly those jobs.
+		if err := w.redeliver(ctx); err != nil {
+			var down *downError
+			if !errors.As(err, &down) {
+				return &w.stats, fmt.Errorf("dist: redelivering spilled results: %w", err)
+			}
+			if ok, rerr := survive(down); rerr != nil || !ok {
+				return &w.stats, rerr
+			}
+			continue
+		}
 		leaseSeq++
 		var resp LeaseResponse
 		key := fmt.Sprintf("%s-%d", cfg.ID, leaseSeq)
+		reconnected := w.reconnected
 		err := w.post(ctx, PathLease, siteLease, key, func(int) any {
-			return LeaseRequest{Worker: cfg.ID}
+			return LeaseRequest{Worker: cfg.ID, Reconnected: reconnected}
 		}, &resp)
 		var down *downError
 		if errors.As(err, &down) {
-			// The coordinator answered the config fetch but is now gone
-			// past the retry budget — most likely it finished the sweep
-			// and exited, or crashed (its journal resumes on restart
-			// either way). A worker with no coordinator has nothing
-			// left to do; this is a clean exit, not a failure.
-			cfg.Logf("worker %s: coordinator gone (%v); exiting", cfg.ID, down.cause)
-			return &w.stats, nil
+			if ok, rerr := survive(down); rerr != nil || !ok {
+				return &w.stats, rerr
+			}
+			continue
 		}
 		if err != nil {
 			return &w.stats, fmt.Errorf("dist: leasing: %w", err)
 		}
+		w.reconnected = false
 		switch {
 		case resp.Done:
 			cfg.Logf("worker %s: sweep complete (%d leases, %d computed, %d uploaded)",
@@ -159,9 +222,23 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerStats, error) {
 			continue
 		}
 		if err := w.processLease(ctx, resp); err != nil {
+			if errors.As(err, &down) {
+				if ok, rerr := survive(down); rerr != nil || !ok {
+					return &w.stats, rerr
+				}
+				continue
+			}
 			return &w.stats, err
 		}
 	}
+}
+
+func spillCount(spill []spilledUpload) int {
+	n := 0
+	for _, s := range spill {
+		n += len(s.records)
+	}
+	return n
 }
 
 // processLease computes a lease's jobs under a background heartbeat and
@@ -210,6 +287,19 @@ func (w *worker) processLease(ctx context.Context, l LeaseResponse) error {
 		err := w.post(ctx, PathUpload, siteUpload, l.LeaseID, func(attempt int) any {
 			return UploadRequest{Worker: w.cfg.ID, LeaseID: l.LeaseID, Attempt: attempt, Results: records}
 		}, &resp)
+		var down *downError
+		if errors.As(err, &down) {
+			// The coordinator went away with finished work in hand.
+			// Spill it: the records survive in memory (and succeeded
+			// results in the local journal) and are re-delivered after a
+			// reconnect, where the merge dedups anything a replacement
+			// worker computed in the meantime.
+			w.spill = append(w.spill, spilledUpload{leaseID: l.LeaseID, records: records})
+			w.stats.Spilled += len(records)
+			w.cfg.Logf("worker %s: lease %s: coordinator gone mid-upload; spilled %d records",
+				w.cfg.ID, l.LeaseID, len(records))
+			return err
+		}
 		if err != nil {
 			return fmt.Errorf("dist: uploading lease %s: %w", l.LeaseID, err)
 		}
@@ -253,6 +343,88 @@ func (w *worker) runJob(ctx context.Context, spec JobSpec) (UploadRecord, bool, 
 		}
 	}
 	return UploadRecord{Key: spec.Key, Failed: res.Err != "", Result: raw}, true, nil
+}
+
+// reconnect probes the coordinator's config endpoint until it answers
+// again or the worker has been continuously unreachable for
+// ReconnectTimeout. Probes are single round-trips under capped
+// exponential backoff (never more than maxReconnectBackoff apart); the
+// dist/reconnect fault site can fail probes to stretch a simulated
+// outage. On reattach the config is revalidated by hash — a
+// coordinator that came back serving a different sweep definition is a
+// terminal error, because mixing results across definitions would
+// corrupt the store. Returns (false, nil) when the budget runs out:
+// the coordinator is gone for good, which callers treat as a clean
+// exit.
+func (w *worker) reconnect(ctx context.Context, cause error) (bool, error) {
+	if w.cfg.ReconnectTimeout < 0 {
+		return false, nil
+	}
+	deadline := time.Now().Add(w.cfg.ReconnectTimeout)
+	w.cfg.Logf("worker %s: coordinator unreachable (%v); reconnecting for up to %s",
+		w.cfg.ID, cause, w.cfg.ReconnectTimeout)
+	for probe := 1; ; probe++ {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		if time.Now().After(deadline) {
+			return false, nil
+		}
+		if err := w.cfg.Faults.Inject(siteReconnect, w.cfg.ID, probe); err != nil {
+			w.cfg.Logf("worker %s: reconnect probe %d: injected %v", w.cfg.ID, probe, err)
+		} else {
+			var wireCfg SweepConfig
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+PathConfig, nil)
+			if err != nil {
+				return false, err
+			}
+			if err := w.roundTrip(req, &wireCfg); err == nil {
+				raw, err := json.Marshal(wireCfg)
+				if err != nil {
+					return false, fmt.Errorf("dist: hashing config: %w", err)
+				}
+				if configHash(raw) != w.confHash {
+					return false, fmt.Errorf("dist: coordinator at %s now serves a different sweep (config hash changed); refusing to mix results", w.base)
+				}
+				w.stats.Reconnects++
+				w.reconnected = true
+				w.cfg.Logf("worker %s: reconnected after %d probes; config revalidated", w.cfg.ID, probe)
+				return true, nil
+			} else if ctx.Err() != nil {
+				return false, ctx.Err()
+			}
+		}
+		d := backoff(w.cfg.RPCBackoff, siteReconnect+"|"+w.cfg.ID, probe)
+		if d > maxReconnectBackoff {
+			d = maxReconnectBackoff
+		}
+		if err := sleepCtx(ctx, d); err != nil {
+			return false, err
+		}
+	}
+}
+
+// redeliver drains the spill, oldest lease first. Each upload uses the
+// normal retry budget; an exhausted budget (coordinator down again)
+// surfaces as a downError with the spill intact, so the caller can
+// reconnect and try again.
+func (w *worker) redeliver(ctx context.Context) error {
+	for len(w.spill) > 0 {
+		s := w.spill[0]
+		var resp UploadResponse
+		err := w.post(ctx, PathUpload, siteUpload, s.leaseID, func(attempt int) any {
+			return UploadRequest{Worker: w.cfg.ID, LeaseID: s.leaseID, Attempt: attempt, Results: s.records}
+		}, &resp)
+		if err != nil {
+			return err
+		}
+		w.stats.Uploaded += len(s.records)
+		w.stats.Redelivered += len(s.records)
+		w.spill = w.spill[1:]
+		w.cfg.Logf("worker %s: redelivered %d spilled records for lease %s (%d merged, %d deduped)",
+			w.cfg.ID, len(s.records), s.leaseID, resp.Merged, resp.Deduped)
+	}
+	return nil
 }
 
 // heartbeat renews the lease at TTL/3 until canceled, flagging lost

@@ -201,16 +201,16 @@ func TestSeedChangesSchedule(t *testing.T) {
 // rates outside [0,1], structurally broken fields, and bad delays.
 func TestParseRejections(t *testing.T) {
 	for _, bad := range []string{
-		"tornwrite=0.1",   // unknown kind (the spelled-out name is not the spec name)
-		"ERROR=0.1",       // kinds are case-sensitive
-		"=0.3",            // empty kind
-		"error=",          // empty rate
-		"torn=2",          // rate > 1
-		"delay=-0.5",      // rate < 0
-		"error=0.5=0.5",   // Cut keeps the second '=' in the rate
-		"error=0.2;panic", // wrong field separator
-		"maxdelay=abc",    // unparseable duration
-		"maxdelay=0s",     // zero delay bound is meaningless
+		"tornwrite=0.1",                 // unknown kind (the spelled-out name is not the spec name)
+		"ERROR=0.1",                     // kinds are case-sensitive
+		"=0.3",                          // empty kind
+		"error=",                        // empty rate
+		"torn=2",                        // rate > 1
+		"delay=-0.5",                    // rate < 0
+		"error=0.5=0.5",                 // Cut keeps the second '=' in the rate
+		"error=0.2;panic",               // wrong field separator
+		"maxdelay=abc",                  // unparseable duration
+		"maxdelay=0s",                   // zero delay bound is meaningless
 		"error=0.4,error=0.7,panic=0.4", // last-wins duplicate keeps the sum over 1
 	} {
 		if p, err := Parse(bad, 1); err == nil {

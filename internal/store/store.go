@@ -110,6 +110,12 @@ type Options struct {
 	// Faults optionally injects deterministic write faults (torn writes,
 	// errors, delays) for chaos tests. Nil: off.
 	Faults *faults.Plan
+	// FaultSite names the injection site writes consult on the fault
+	// plan (default "store/put"). A store embedded in a larger system —
+	// the distributed coordinator's state journal, say — can claim its
+	// own site name so chaos schedules target it independently of every
+	// other journal sharing the plan.
+	FaultSite string
 }
 
 // Stats is a point-in-time snapshot of a store's counters.
@@ -126,24 +132,24 @@ type Stats struct {
 // Store is a content-addressed append-only result store. All methods
 // are safe for concurrent use; appends serialize internally.
 type Store struct {
-	mu      sync.Mutex
-	mergeMu sync.Mutex // serializes Merge batches (see merge.go)
-	dir     string
-	opt     Options
-	lock    *os.File    // flocked store.lock guarding single-writer access
-	f       *os.File    // active segment, opened append-only
-	fi      os.FileInfo // identity of f at open, for stale-handle detection
-	segIdx  int         // ordinal of the active segment
-	segSize int64
-	nseg    int
-	index   map[string][]byte
-	putSeq  map[string]int // per-key append attempts, keys fault decisions
-	appends uint64
-	torn    uint64
-	trunc   int64
+	mu        sync.Mutex
+	mergeMu   sync.Mutex // serializes Merge batches (see merge.go)
+	dir       string
+	opt       Options
+	lock      *os.File    // flocked store.lock guarding single-writer access
+	f         *os.File    // active segment, opened append-only
+	fi        os.FileInfo // identity of f at open, for stale-handle detection
+	segIdx    int         // ordinal of the active segment
+	segSize   int64
+	nseg      int
+	index     map[string][]byte
+	putSeq    map[string]int // per-key append attempts, keys fault decisions
+	appends   uint64
+	torn      uint64
+	trunc     int64
 	mergeAdd  uint64
 	mergeSkip uint64
-	closed  bool
+	closed    bool
 }
 
 // Open creates or reopens the store rooted at dir, replaying every
@@ -152,6 +158,9 @@ type Store struct {
 func Open(dir string, opt Options) (*Store, error) {
 	if opt.SegmentBytes <= 0 {
 		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if opt.FaultSite == "" {
+		opt.FaultSite = "store/put"
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
@@ -343,9 +352,9 @@ func (s *Store) Put(key string, value []byte) error {
 	attempt := s.putSeq[key] + 1
 	s.putSeq[key] = attempt
 
-	switch s.opt.Faults.Decide("store/put", key, attempt) {
+	switch s.opt.Faults.Decide(s.opt.FaultSite, key, attempt) {
 	case faults.TornWrite:
-		cut := s.opt.Faults.TearAt("store/put", key, attempt, len(frame))
+		cut := s.opt.Faults.TearAt(s.opt.FaultSite, key, attempt, len(frame))
 		if _, err := s.f.Write(frame[:cut]); err != nil {
 			return fmt.Errorf("store: append: %w", err)
 		}
@@ -356,14 +365,14 @@ func (s *Store) Put(key string, value []byte) error {
 		}
 		s.torn++
 		return fmt.Errorf("store: torn write: %w",
-			&faults.InjectedError{Site: "store/put", Key: key, Attempt: attempt})
+			&faults.InjectedError{Site: s.opt.FaultSite, Key: key, Attempt: attempt})
 	case faults.Error, faults.Panic:
 		// The writer never panics on schedule — an error exercises the
 		// same caller retry path without needing recovery here.
 		return fmt.Errorf("store: append failed: %w",
-			&faults.InjectedError{Site: "store/put", Key: key, Attempt: attempt})
+			&faults.InjectedError{Site: s.opt.FaultSite, Key: key, Attempt: attempt})
 	case faults.Delay:
-		d := s.opt.Faults.DelayFor("store/put", key, attempt)
+		d := s.opt.Faults.DelayFor(s.opt.FaultSite, key, attempt)
 		s.mu.Unlock()
 		time.Sleep(d)
 		s.mu.Lock()
