@@ -130,19 +130,23 @@ const (
 
 // Simulation engines (see sim.Engine). The event-driven engine is the
 // semantic reference; the bit-parallel engine compiles the circuit once
-// and evaluates 64 Monte Carlo vectors per machine word in every delay
-// mode — the levelized program under zero delay, the timed word-op
-// program (integer-tick timing wheel) under unit or Elmore delay. In the
-// timed modes both engines run on the same tick grid and agree lane for
-// lane (unit-delay quantization is exact; Elmore delays snap to within
-// half a tick, see SimParams.Tick).
+// and evaluates up to MaxSimVectors Monte Carlo vectors per pass — 64
+// lanes per machine word, in register blocks of up to 8 words
+// (structure-of-arrays, so 256- and 512-lane blocks auto-vectorize) — in
+// every delay mode: the levelized program under zero delay, the timed
+// word-op program (integer-tick timing wheel) under unit or Elmore
+// delay. In the timed modes both engines run on the same tick grid and
+// agree lane for lane (unit-delay quantization is exact; Elmore delays
+// snap to within half a tick, see SimParams.Tick).
 const (
 	EngineEventDriven = sim.EventDriven
 	EngineBitParallel = sim.BitParallel
 )
 
-// MaxSimVectors is the lane capacity of one packed bit-parallel run.
-const MaxSimVectors = stoch.MaxLanes
+// MaxSimVectors is the lane capacity of one packed bit-parallel run: the
+// widest register block (8 words × 64 lanes). Lane counts of 64, 256 and
+// 512 hit the specialized one-, four- and eight-word kernels.
+const MaxSimVectors = stoch.MaxPackLanes
 
 // DefaultLibrary returns the paper's Table 2 cell library.
 func DefaultLibrary() *Library { return library.Default() }
@@ -230,10 +234,10 @@ func Simulate(c *Circuit, pi map[string]Signal, horizon float64, seed int64, prm
 
 // SimulateVectors measures power on the compiled bit-parallel engines:
 // vectors (1..MaxSimVectors) independent Monte Carlo stimulus streams
-// packed into bit lanes and evaluated in one pass — on the levelized
-// program in zero-delay mode, on the timed program (glitches included)
-// under unit or Elmore delay. The result's Power is the mean per-lane
-// power.
+// packed into the bit lanes of one register block and evaluated in one
+// pass — on the levelized program in zero-delay mode, on the timed
+// program (glitches included) under unit or Elmore delay. The result's
+// Power is the mean per-lane power.
 func SimulateVectors(c *Circuit, pi map[string]Signal, horizon float64, vectors int, seed int64, prm SimParams) (*BitSimResult, error) {
 	rng := newRand(seed)
 	if prm.Mode != sim.ZeroDelay {

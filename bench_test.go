@@ -683,6 +683,77 @@ func BenchmarkTimedBitParallelVsEvent(b *testing.B) {
 	})
 }
 
+// BenchmarkLaneWidth measures the PR-10 tentpole: Monte Carlo
+// throughput of the compiled engines as the register block widens from
+// one machine word (64 lanes) through the 4- and 8-word kernels (256
+// and 512 lanes), on the largest embedded benchmark in all three delay
+// modes. Each iteration evaluates one full packed stimulus, so the
+// vectors/sec metric scales with both the per-word kernel cost and the
+// pack width; compare the 64-lane rows against
+// BenchmarkBitParallelVsEvent and BenchmarkTimedBitParallelVsEvent for
+// the cross-PR trajectory. Target: ≥2× the one-word throughput at 256+
+// lanes in every mode — the wide kernels amortize the per-gate agenda
+// and metering overhead across words.
+func BenchmarkLaneWidth(b *testing.B) {
+	lib := repro.DefaultLibrary()
+	c := largestEmbedded(b, lib)
+	stats := repro.UniformInputs(c, 0.5, 2e5)
+	const horizon = 2e-4
+	b.Logf("benchmark %s: %d gates", c.Name, len(c.Gates))
+
+	for _, mode := range []struct {
+		name string
+		mode sim.DelayMode
+	}{{"zero", sim.ZeroDelay}, {"unit", sim.UnitDelay}, {"elmore", sim.ElmoreDelay}} {
+		prm := sim.DefaultParams()
+		prm.Mode = mode.mode
+		for _, lanes := range []int{64, 256, 512} {
+			// Same seed per width so every row simulates the same leading
+			// 64 vectors plus fresh ones; stimulus is drawn outside the
+			// timed region.
+			rng := rand.New(rand.NewSource(64))
+			laneWaves := make([]map[string]*stoch.Waveform, lanes)
+			for l := range laneWaves {
+				w, err := sim.GenerateWaveforms(c.Inputs, stats, horizon, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				laneWaves[l] = w
+			}
+			var run func() error
+			if mode.mode == sim.ZeroDelay {
+				prog, err := sim.Compile(c, prm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stim, err := stoch.PackWaveforms(c.Inputs, laneWaves, horizon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run = func() error { _, err := prog.Run(stim); return err }
+			} else {
+				prog, err := sim.CompileTimed(c, prm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stim, err := prog.PackTimed(laneWaves, horizon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run = func() error { _, err := prog.Run(stim); return err }
+			}
+			b.Run(fmt.Sprintf("%s/lanes=%d", mode.name, lanes), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)*float64(lanes)/b.Elapsed().Seconds(), "vectors/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkParallelOptimizer measures the PR-3 tentpole: the two-phase
 // candidate-search engine on the largest embedded benchmark, serial
 // versus N workers. Each iteration is a whole Optimize call (clone,

@@ -63,7 +63,8 @@ func run() error {
 		delayMode = flag.String("delay", "unit", "simulation delay model: unit, elmore or zero")
 		engine    = flag.String("engine", "bitparallel", "S-column simulation engine: bitparallel (packed Monte Carlo lanes, any delay model) or event (one realization per job)")
 		tick      = flag.Float64("tick", 0, "timed-simulation tick in seconds (0 = auto: the unit delay, or the fastest Elmore gate delay / 4)")
-		vectors   = flag.Int("vectors", 0, "Monte Carlo vector lanes for bit-parallel simulation, 1..64 (0 = 64)")
+		vectors   = flag.Int("vectors", 0, "total Monte Carlo vectors for bit-parallel simulation (0 = one register block of -lanes)")
+		lanes     = flag.Int("lanes", 0, "bit-parallel register-block lane width, 1..512; 64 = one machine word, 256/512 = wide kernels (0 = 64)")
 		verbose   = flag.Bool("v", false, "print the per-job table, not only the aggregates")
 		list      = flag.Bool("list", false, "print the planned jobs and exit")
 		storeDir  = flag.String("store", "", "journal finished jobs into this content-addressed result store directory")
@@ -158,10 +159,19 @@ func run() error {
 		if eng != sim.BitParallel {
 			return fmt.Errorf("-vectors applies to the bit-parallel engine: drop -engine event")
 		}
-		if *vectors < 1 || *vectors > stoch.MaxLanes {
-			return fmt.Errorf("-vectors %d out of [1,%d]", *vectors, stoch.MaxLanes)
+		if *vectors < 1 {
+			return fmt.Errorf("-vectors %d; need at least 1", *vectors)
 		}
 		opt.Expt.SimVectors = *vectors
+	}
+	if *lanes != 0 {
+		if eng != sim.BitParallel {
+			return fmt.Errorf("-lanes applies to the bit-parallel engine: drop -engine event")
+		}
+		if *lanes < 1 || *lanes > stoch.MaxPackLanes {
+			return fmt.Errorf("-lanes %d out of [1,%d]", *lanes, stoch.MaxPackLanes)
+		}
+		opt.Expt.SimLanes = *lanes
 	}
 
 	if *retries < 0 {

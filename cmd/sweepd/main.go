@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/faults"
+	"repro/internal/stoch"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
@@ -59,6 +60,8 @@ func run() error {
 		modes     = flag.String("modes", "full", "comma-separated modes: full,input-only,delay-rule,delay-neutral")
 		seeds     = flag.String("seeds", "", "comma-separated replicate seeds (default: 1996)")
 		nosim     = flag.Bool("nosim", false, "skip switch-level simulation (S column reads 0)")
+		vectors   = flag.Int("vectors", 0, "total Monte Carlo vectors per job for bit-parallel simulation (0 = one register block of -lanes)")
+		lanes     = flag.Int("lanes", 0, "bit-parallel register-block lane width, 1..512; part of the sweep identity, so workers inherit it from the wire config (0 = 64)")
 		leaseTTL  = flag.Duration("lease-ttl", dist.DefaultLeaseTTL, "lease expiry without a heartbeat; a dead worker's jobs are reassigned after this")
 		chunk     = flag.Int("chunk", dist.DefaultChunkSize, "jobs per lease")
 		linger    = flag.Bool("linger", false, "keep serving after the sweep completes instead of exiting")
@@ -107,6 +110,18 @@ func run() error {
 		}
 	}
 	opt.Simulate = !*nosim
+	if *vectors != 0 {
+		if *vectors < 1 {
+			return fmt.Errorf("-vectors %d; need at least 1", *vectors)
+		}
+		opt.Expt.SimVectors = *vectors
+	}
+	if *lanes != 0 {
+		if *lanes < 1 || *lanes > stoch.MaxPackLanes {
+			return fmt.Errorf("-lanes %d out of [1,%d]", *lanes, stoch.MaxPackLanes)
+		}
+		opt.Expt.SimLanes = *lanes
+	}
 
 	plan, err := faults.Parse(*faultSpec, *faultSeed)
 	if err != nil {

@@ -4,15 +4,17 @@
 //
 // Two engines are available: the event-driven reference engine (any
 // delay model, one vector stream per run) and the compiled bit-parallel
-// engine (any delay model, 64 Monte Carlo vectors per machine word —
-// zero-delay runs the levelized program, unit/elmore the timed program
-// on an integer tick grid; -tick overrides the automatic resolution).
+// engine (any delay model, Monte Carlo vectors packed into register
+// blocks of -lanes bits — 64 per machine word, 256/512 via the wide
+// kernels; zero-delay runs the levelized program, unit/elmore the timed
+// program on an integer tick grid; -tick overrides the automatic
+// resolution).
 //
 // Usage:
 //
 //	swsim -in circuit.blif [-stats file | -scenario A|B] [-horizon s] [-seed n]
 //	      [-delay unit|elmore|zero] [-engine event|bitparallel] [-vectors n]
-//	      [-tick s] [-vcd out.vcd]
+//	      [-lanes n] [-tick s] [-vcd out.vcd]
 package main
 
 import (
@@ -37,17 +39,18 @@ func main() {
 	seed := flag.Int64("seed", 1996, "waveform seed")
 	delayMode := flag.String("delay", "unit", "gate delay model: unit, elmore or zero")
 	engine := flag.String("engine", "event", "simulation engine: event or bitparallel")
-	vectors := flag.Int("vectors", 0, "Monte Carlo vectors (default: 1 event, 64 bitparallel)")
+	vectors := flag.Int("vectors", 0, "Monte Carlo vectors (default: 1 event, one register block bitparallel)")
+	lanes := flag.Int("lanes", 0, "bit-parallel register-block lane width, 1..512 (0 = 64, one machine word)")
 	tick := flag.Float64("tick", 0, "timed-simulation tick in seconds (0 = auto: the unit delay, or the fastest Elmore gate delay / 4)")
 	vcd := flag.String("vcd", "", "write a VCD waveform dump to this file (event engine only)")
 	flag.Parse()
-	if err := run(*in, *statsFile, *scenario, *horizon, *seed, *delayMode, *engine, *vectors, *tick, *vcd); err != nil {
+	if err := run(*in, *statsFile, *scenario, *horizon, *seed, *delayMode, *engine, *vectors, *lanes, *tick, *vcd); err != nil {
 		fmt.Fprintln(os.Stderr, "swsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode, engineName string, vectors int, tick float64, vcdPath string) error {
+func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode, engineName string, vectors, lanes int, tick float64, vcdPath string) error {
 	if in == "" {
 		return fmt.Errorf("missing -in")
 	}
@@ -88,10 +91,19 @@ func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode,
 	if vectors < 0 {
 		return fmt.Errorf("-vectors %d must be positive", vectors)
 	}
+	if lanes != 0 && eng != sim.BitParallel {
+		return fmt.Errorf("-lanes applies to the bit-parallel engine: pass -engine bitparallel")
+	}
+	if lanes < 0 || lanes > stoch.MaxPackLanes {
+		return fmt.Errorf("-lanes %d out of [1,%d]", lanes, stoch.MaxPackLanes)
+	}
+	if lanes == 0 {
+		lanes = stoch.MaxLanes
+	}
 	if vectors == 0 {
 		vectors = 1
 		if eng == sim.BitParallel {
-			vectors = stoch.MaxLanes
+			vectors = lanes
 		}
 	}
 
@@ -99,7 +111,7 @@ func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode,
 	var res *sim.Result
 	switch {
 	case eng == sim.BitParallel:
-		res, err = runBitParallel(c, pi, horizon, vectors, rng, prm)
+		res, err = runBitParallel(c, pi, horizon, vectors, lanes, rng, prm)
 		if err != nil {
 			return err
 		}
@@ -144,9 +156,10 @@ func run(in, statsFile, scenario string, horizon float64, seed int64, delayMode,
 }
 
 // runBitParallel compiles the circuit once (the levelized program under
-// zero delay, the timed program otherwise) and evaluates ceil(n/64)
-// packed batches, folding counts and averaging power across all vectors.
-func runBitParallel(c *circuit.Circuit, pi map[string]stoch.Signal, horizon float64, vectors int, rng *rand.Rand, prm sim.Params) (*sim.Result, error) {
+// zero delay, the timed program otherwise) and evaluates ceil(n/width)
+// packed register blocks, folding counts and averaging power across all
+// vectors.
+func runBitParallel(c *circuit.Circuit, pi map[string]stoch.Signal, horizon float64, vectors, width int, rng *rand.Rand, prm sim.Params) (*sim.Result, error) {
 	var runBatch func(lanes int) (*sim.BitResult, error)
 	if prm.Mode == sim.ZeroDelay {
 		prog, err := sim.Compile(c, prm)
@@ -180,8 +193,8 @@ func runBitParallel(c *circuit.Circuit, pi map[string]stoch.Signal, horizon floa
 	total := &sim.Result{Horizon: horizon}
 	for done := 0; done < vectors; {
 		lanes := vectors - done
-		if lanes > stoch.MaxLanes {
-			lanes = stoch.MaxLanes
+		if lanes > width {
+			lanes = width
 		}
 		br, err := runBatch(lanes)
 		if err != nil {

@@ -162,7 +162,15 @@ func TestChaosSweepSurvivesFaultsAndWorkerDeath(t *testing.T) {
 				ID:          fmt.Sprintf("survivor%d", id),
 				RPCRetries:  8,
 				RPCBackoff:  5 * time.Millisecond,
-				Faults:      workerPlan,
+				// The job retry budget must be nonzero: sweep/job fault
+				// draws are a pure function of (seed, key, attempt), so
+				// without in-worker retries a job that draws an error at
+				// attempt 1 fails identically on every worker and the
+				// quarantine machinery terminally fails it — the injected
+				// "transient" error would not be transient at all.
+				JobRetries:      4,
+				JobRetryBackoff: 2 * time.Millisecond,
+				Faults:          workerPlan,
 			})
 			workerStats[id] = stats
 			if err != nil {

@@ -115,6 +115,68 @@ func TestTrackerReleaseReturnsUndelivered(t *testing.T) {
 	}
 }
 
+// TestTrackerDurationWindow pins the straggler-p95 sample ring at its
+// capacity boundary: the history must stop growing at durationWindow
+// entries, eviction must drop the oldest sample first, and the p95 must
+// be computed over exactly the surviving window — a fleet that slowed
+// down mid-sweep shows up in the p95 instead of being averaged away by
+// unbounded early history.
+func TestTrackerDurationWindow(t *testing.T) {
+	tr := newTracker(nil, nil, time.Minute, 1, time.Now)
+
+	// Below capacity: every sample is retained and sorted into the p95.
+	for i := 1; i <= durationWindow-1; i++ {
+		tr.recordDurationLocked(time.Duration(i) * time.Millisecond)
+	}
+	if len(tr.durations) != durationWindow-1 || tr.durTotal != durationWindow-1 {
+		t.Fatalf("below cap: len=%d total=%d, want %d/%d",
+			len(tr.durations), tr.durTotal, durationWindow-1, durationWindow-1)
+	}
+
+	// Exactly at capacity: samples 1..durationWindow ms, p95 index is
+	// ceil(n*95/100)-1 = 243 for n=256, so the sorted value is 244ms.
+	tr.recordDurationLocked(time.Duration(durationWindow) * time.Millisecond)
+	if len(tr.durations) != durationWindow {
+		t.Fatalf("at cap: len=%d, want %d", len(tr.durations), durationWindow)
+	}
+	wantIdx := (durationWindow*95+99)/100 - 1
+	want := time.Duration(wantIdx+1) * time.Millisecond
+	if got := tr.p95Locked(); got != want {
+		t.Fatalf("p95 at cap = %v, want %v", got, want)
+	}
+
+	// One past capacity: the ring stays at durationWindow entries and the
+	// oldest sample (1ms) is the one evicted.
+	tr.recordDurationLocked(time.Second)
+	if len(tr.durations) != durationWindow || tr.durTotal != durationWindow+1 {
+		t.Fatalf("past cap: len=%d total=%d, want %d/%d",
+			len(tr.durations), tr.durTotal, durationWindow, durationWindow+1)
+	}
+	min := tr.durations[0]
+	for _, d := range tr.durations {
+		if d < min {
+			min = d
+		}
+	}
+	if min != 2*time.Millisecond {
+		t.Fatalf("oldest surviving sample = %v, want 2ms (1ms evicted first)", min)
+	}
+
+	// A full window of slow leases replaces the history entirely: the p95
+	// reflects only the new regime. The p95 sort must also leave the ring
+	// itself in insertion order, or the next eviction would overwrite an
+	// arbitrary sample instead of the oldest.
+	for i := 0; i < durationWindow; i++ {
+		tr.recordDurationLocked(time.Second)
+	}
+	if got := tr.p95Locked(); got != time.Second {
+		t.Fatalf("p95 after regime change = %v, want 1s", got)
+	}
+	if tr.durTotal != 2*durationWindow+1 {
+		t.Fatalf("durTotal = %d, want %d", tr.durTotal, 2*durationWindow+1)
+	}
+}
+
 // TestConfigRoundTrip: options survive the wire encoding, and leased
 // job specs reconstruct the exact sweep jobs.
 func TestConfigRoundTrip(t *testing.T) {

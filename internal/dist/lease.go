@@ -63,6 +63,13 @@ type trackerPolicy struct {
 	speculateMinLeases int
 }
 
+// durationWindow bounds the straggler-p95 sample to the most recent
+// completed leases. A long sweep completes tens of thousands of leases;
+// an unbounded history both grows without limit and drags the p95
+// toward stale early-sweep timings, making speculation blind to a
+// fleet that has slowed down.
+const durationWindow = 256
+
 // journalFn receives durable state transitions: a journal record key
 // (lease/<id>, strike/<key>, quarantine/<key>) and its wire value. It
 // is called with the tracker lock held, in state-transition order. Nil
@@ -92,7 +99,9 @@ type tracker struct {
 	strikes     map[int]*strike
 	quarantined map[int]QuarantineRecord
 
-	durations []time.Duration // completed-lease durations, for the straggler p95
+	durations  []time.Duration // ring of recent completed-lease durations, for the straggler p95
+	durTotal   int             // completed leases ever; write cursor is durTotal % durationWindow
+	durScratch []time.Duration // reused p95 sort buffer, so the hot path stops allocating
 
 	ttl    time.Duration
 	chunk  int
@@ -279,7 +288,7 @@ func (t *tracker) expireLocked() {
 // computation, never a wrong result.
 func (t *tracker) speculateLocked(now time.Time) {
 	f := t.policy.speculateFactor
-	if f <= 0 || len(t.durations) < t.policy.speculateMinLeases {
+	if f <= 0 || t.durTotal < t.policy.speculateMinLeases {
 		return
 	}
 	threshold := time.Duration(f * float64(t.p95Locked()))
@@ -302,9 +311,25 @@ func (t *tracker) speculateLocked(now time.Time) {
 	}
 }
 
-// p95Locked is the 95th-percentile completed-lease duration.
+// recordDurationLocked pushes a completed-lease duration into the
+// bounded ring feeding the straggler p95, evicting the oldest sample
+// once durationWindow leases have completed.
+func (t *tracker) recordDurationLocked(d time.Duration) {
+	if len(t.durations) < durationWindow {
+		t.durations = append(t.durations, d)
+	} else {
+		t.durations[t.durTotal%durationWindow] = d
+	}
+	t.durTotal++
+}
+
+// p95Locked is the 95th-percentile completed-lease duration over the
+// ring window. It sorts a reused scratch copy: the ring itself must
+// stay in insertion order so eviction replaces the oldest sample, not
+// an arbitrary one.
 func (t *tracker) p95Locked() time.Duration {
-	ds := append([]time.Duration(nil), t.durations...)
+	ds := append(t.durScratch[:0], t.durations...)
+	t.durScratch = ds
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	i := (len(ds)*95 + 99) / 100
 	if i > 0 {
@@ -324,7 +349,7 @@ func (t *tracker) releaseLocked(id string) {
 		return
 	}
 	delete(t.leases, id)
-	t.durations = append(t.durations, t.now().Sub(l.granted))
+	t.recordDurationLocked(t.now().Sub(l.granted))
 	for _, idx := range l.jobs {
 		if t.state[idx] == stateLeased && t.owner[idx] == id {
 			t.state[idx] = statePending

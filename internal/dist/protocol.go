@@ -52,6 +52,7 @@ type ExptConfig struct {
 	MaxDensA   float64      `json:"max_dens_a"`
 	Seed       int64        `json:"seed"`
 	SimVectors int          `json:"sim_vectors"`
+	SimLanes   int          `json:"sim_lanes,omitempty"`
 }
 
 // ConfigFromOptions renders normalized sweep options into wire form.
@@ -73,6 +74,7 @@ func ConfigFromOptions(o sweep.Options) SweepConfig {
 			MaxDensA:   o.Expt.MaxDensA,
 			Seed:       o.Expt.Seed,
 			SimVectors: o.Expt.SimVectors,
+			SimLanes:   o.Expt.SimLanes,
 		},
 	}
 	for _, sc := range o.Scenarios {
@@ -103,6 +105,7 @@ func (c SweepConfig) Options() (sweep.Options, error) {
 			MaxDensA:   c.Expt.MaxDensA,
 			Seed:       c.Expt.Seed,
 			SimVectors: c.Expt.SimVectors,
+			SimLanes:   c.Expt.SimLanes,
 			Lib:        library.Default(),
 		},
 	}

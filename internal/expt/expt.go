@@ -56,16 +56,22 @@ type Options struct {
 	MaxDensA float64      // upper bound of the scenario-A density range
 	Seed     int64        // base seed; per-benchmark seeds derive from it
 	Workers  int          // parallel benchmark rows in Run (≤ 1: sequential)
-	// SimVectors is the number of Monte Carlo vector lanes (1..64) a
-	// bit-parallel measurement packs per word: with Sim.Engine ==
+	// SimVectors is the total number of Monte Carlo stimulus realizations
+	// a bit-parallel S-column measurement evaluates: with Sim.Engine ==
 	// sim.BitParallel (the default here), zero-delay runs go through the
 	// compiled levelized engine and unit-/Elmore-delay runs through the
-	// timed compiled engine, each measuring SimVectors independent
-	// stimulus realizations in one pass. With Sim.Engine ==
-	// sim.EventDriven the S column falls back to one event-driven
-	// realization and SimVectors is ignored.
+	// timed compiled engine, streaming the vectors in register blocks of
+	// SimLanes lanes per pass. With Sim.Engine == sim.EventDriven the S
+	// column falls back to one event-driven realization and SimVectors is
+	// ignored. 0 means SimLanes (one pack).
 	SimVectors int
-	Lib        *library.Library
+	// SimLanes is the register-block lane width of one bit-parallel pass
+	// (1..stoch.MaxPackLanes; 64, 256 and 512 hit the specialized
+	// kernels). Chunking is exact: any SimVectors total gives the same
+	// measurement at every lane width. 0 means 64 — one word per
+	// register, the pre-wide-block default.
+	SimLanes int
+	Lib      *library.Library
 }
 
 // DefaultOptions mirrors the paper's setup (densities up to one million
@@ -85,6 +91,7 @@ func DefaultOptions() Options {
 		Seed:       1996, // the paper's year; any fixed value works
 		Workers:    runtime.NumCPU(),
 		SimVectors: stoch.MaxLanes,
+		SimLanes:   stoch.MaxLanes,
 		Lib:        library.Default(),
 	}
 	opt.Sim.Engine = sim.BitParallel
@@ -287,13 +294,15 @@ func generateScenarioWaveforms(inputs []string, sigs map[string]stoch.Signal, sc
 // SimReduction measures the switch-level-simulated best-vs-worst power
 // reduction (Table 3's S column): both circuits simulated under identical
 // scenario-appropriate stimulus drawn deterministically from seed. With
-// opt.Sim.Engine == sim.BitParallel (the default) the measurement packs
-// opt.SimVectors Monte Carlo lanes per word — zero-delay runs on the
+// opt.Sim.Engine == sim.BitParallel (the default) the measurement streams
+// opt.SimVectors Monte Carlo realizations through the compiled engines in
+// register blocks of opt.SimLanes lanes per pass — zero-delay runs on the
 // levelized compiled engine, unit- and Elmore-delay runs on the timed
-// compiled engine (both circuits on one shared tick grid). The
-// event-driven fallback (opt.Sim.Engine == sim.EventDriven) simulates one
-// realization, reused across the best/worst pair exactly like the packed
-// paths reuse theirs.
+// compiled engine (both circuits on one shared tick grid); chunking is
+// exact, so the result depends on the vector total but not on the lane
+// width. The event-driven fallback (opt.Sim.Engine == sim.EventDriven)
+// simulates one realization, reused across the best/worst pair exactly
+// like the packed paths reuse theirs.
 func SimReduction(c, best, worst *circuit.Circuit, pi map[string]stoch.Signal, sc Scenario, seed int64, opt Options) (float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	sigs := scenarioSignals(pi, sc, opt)
@@ -307,26 +316,18 @@ func SimReduction(c, best, worst *circuit.Circuit, pi map[string]stoch.Signal, s
 		red, _, _, err := sim.MeasureReduction(best, worst, waves, horizon, opt.Sim)
 		return red, err
 	}
-	lanes := opt.SimVectors
+	lanes := opt.SimLanes
 	if lanes == 0 {
 		lanes = stoch.MaxLanes
 	}
-	laneWaves := make([]map[string]*stoch.Waveform, lanes)
-	for l := range laneWaves {
-		w, err := generateScenarioWaveforms(c.Inputs, sigs, sc, opt, rng)
-		if err != nil {
-			return 0, err
-		}
-		laneWaves[l] = w
+	vectors := opt.SimVectors
+	if vectors == 0 {
+		vectors = lanes
 	}
-	if opt.Sim.Mode == sim.ZeroDelay {
-		stim, err := stoch.PackWaveforms(c.Inputs, laneWaves, horizon)
-		if err != nil {
-			return 0, err
-		}
-		return sim.ReductionPacked(best, worst, stim, opt.Sim)
+	gen := func() (map[string]*stoch.Waveform, error) {
+		return generateScenarioWaveforms(c.Inputs, sigs, sc, opt, rng)
 	}
-	return sim.ReductionTimed(best, worst, laneWaves, horizon, opt.Sim)
+	return sim.ReductionVectors(best, worst, gen, vectors, lanes, horizon, opt.Sim)
 }
 
 // DelayIncrease returns the relative critical-path change from before to

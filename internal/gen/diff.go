@@ -47,6 +47,14 @@ type CheckOptions struct {
 	// incremental check applies, each followed by a full-re-analysis
 	// comparison.
 	MutationSteps int
+
+	// LaneWidths are the bit-parallel register-block widths the engine
+	// check exercises beyond the single-vector run: the shared stimulus
+	// is replicated into every lane of a width-W pack and each lane must
+	// reproduce the event engine's measurement exactly, so the wide
+	// kernels (W > 1 words) are pinned to the oracle-checked reference.
+	// Nil skips the wide sub-check.
+	LaneWidths []int
 }
 
 // DefaultCheckOptions enables every check with bounds suitable for the
@@ -59,6 +67,7 @@ func DefaultCheckOptions() CheckOptions {
 		ExactInputLimit: 10,
 		EquivTrials:     64,
 		MutationSteps:   6,
+		LaneWidths:      []int{stoch.MaxLanes, 4 * stoch.MaxLanes, 8 * stoch.MaxLanes},
 	}
 }
 
@@ -346,6 +355,84 @@ func checkEngines(c *circuit.Circuit, p Profile, seed int64, opts CheckOptions,
 		}
 		if w := diffMeasures(measureOf(bp), measureOf(ev)); w != "" {
 			return fail("engines/"+m.name+"/bitparallel-vs-event", w)
+		}
+		if d := checkWideLanes(c, m.name, prm, waves, horizon, ev, opts, fail); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// checkWideLanes replicates the shared stimulus into every lane of each
+// configured register-block width and demands that every lane of the
+// wide bit-parallel run reproduce the event engine's measurement — a
+// lane that drifts under a W-word kernel (strided loads, per-word fire
+// masks, the two-level agenda) pins the failure to the wide path, since
+// the one-vector bit-parallel run already matched.
+func checkWideLanes(c *circuit.Circuit, mode string, prm sim.Params,
+	waves map[string]*stoch.Waveform, horizon float64, ev *sim.Result,
+	opts CheckOptions, fail func(string, string) *Discrepancy) *Discrepancy {
+	if len(opts.LaneWidths) == 0 {
+		return nil
+	}
+	const rel = 1e-9
+	run := func(laneWaves []map[string]*stoch.Waveform) (*sim.BitResult, error) {
+		if prm.Mode == sim.ZeroDelay {
+			prog, err := sim.Compile(c, prm)
+			if err != nil {
+				return nil, err
+			}
+			stim, err := stoch.PackWaveforms(c.Inputs, laneWaves, horizon)
+			if err != nil {
+				return nil, err
+			}
+			return prog.RunLanes(stim)
+		}
+		prog, err := sim.CompileTimed(c, prm)
+		if err != nil {
+			return nil, err
+		}
+		stim, err := prog.PackTimed(laneWaves, horizon)
+		if err != nil {
+			return nil, err
+		}
+		return prog.RunLanes(stim)
+	}
+	for _, lanes := range opts.LaneWidths {
+		check := fmt.Sprintf("engines/%s/wide-%d", mode, lanes)
+		laneWaves := make([]map[string]*stoch.Waveform, lanes)
+		for i := range laneWaves {
+			laneWaves[i] = waves
+		}
+		br, err := run(laneWaves)
+		if err != nil {
+			return fail(check, err.Error())
+		}
+		for l := 0; l < lanes; l++ {
+			if br.LaneInternalFlips[l] != ev.InternalFlips {
+				return fail(check, fmt.Sprintf("lane %d: internal flips %d vs event %d", l, br.LaneInternalFlips[l], ev.InternalFlips))
+			}
+			if br.LaneOutputFlips[l] != ev.OutputFlips {
+				return fail(check, fmt.Sprintf("lane %d: output flips %d vs event %d", l, br.LaneOutputFlips[l], ev.OutputFlips))
+			}
+			if !relClose(br.LaneEnergy[l], ev.Energy, rel) {
+				return fail(check, fmt.Sprintf("lane %d: energy %g vs event %g", l, br.LaneEnergy[l], ev.Energy))
+			}
+		}
+		for net, want := range ev.NetTransitions {
+			row := br.LaneNetTransitions[net]
+			for l := 0; l < lanes; l++ {
+				if row[l] != want {
+					return fail(check, fmt.Sprintf("lane %d net %s: %d vs event %d", l, net, row[l], want))
+				}
+			}
+		}
+		for net, row := range br.LaneNetTransitions {
+			for l := 0; l < lanes; l++ {
+				if row[l] != ev.NetTransitions[net] {
+					return fail(check, fmt.Sprintf("lane %d net %s: %d vs event %d", l, net, row[l], ev.NetTransitions[net]))
+				}
+			}
 		}
 	}
 	return nil

@@ -199,10 +199,15 @@ type simulateRequest struct {
 	circuitRequest
 	Engine  string  `json:"engine,omitempty"`  // bitparallel | event
 	Delay   string  `json:"delay,omitempty"`   // zero | unit | elmore
-	Vectors int     `json:"vectors,omitempty"` // bit-parallel lanes, 1..64
+	Vectors int     `json:"vectors,omitempty"` // total Monte Carlo vectors, 1..maxSimulateVectors
+	Lanes   int     `json:"lanes,omitempty"`   // register-block lane width per pass, 1..512 (64, 256, 512 are the fast widths)
 	Horizon float64 `json:"horizon,omitempty"` // simulated seconds
 	Tick    float64 `json:"tick,omitempty"`    // timed grid resolution (0: auto)
 }
+
+// maxSimulateVectors bounds the Monte Carlo vector total one simulate
+// request may ask for (streamed through register blocks of req.Lanes).
+const maxSimulateVectors = 4096
 
 func parseDelayMode(s string) (sim.DelayMode, error) {
 	switch s {
@@ -241,13 +246,24 @@ func (req *simulateRequest) normalizeSimulate() (sim.Engine, sim.DelayMode, erro
 			return 0, 0, errf(http.StatusBadRequest, "invalid_request",
 				"\"vectors\" applies only to the bitparallel engine (event runs one realization)")
 		}
+		if req.Lanes != 0 {
+			return 0, 0, errf(http.StatusBadRequest, "invalid_request",
+				"\"lanes\" applies only to the bitparallel engine")
+		}
 	case sim.BitParallel:
 		if req.Vectors == 0 {
 			req.Vectors = 16
 		}
-		if req.Vectors < 1 || req.Vectors > stoch.MaxLanes {
+		if req.Vectors < 1 || req.Vectors > maxSimulateVectors {
 			return 0, 0, errf(http.StatusBadRequest, "invalid_request",
-				"vectors %d outside [1,%d]", req.Vectors, stoch.MaxLanes)
+				"vectors %d outside [1,%d]", req.Vectors, maxSimulateVectors)
+		}
+		if req.Lanes == 0 {
+			req.Lanes = stoch.MaxLanes
+		}
+		if req.Lanes < 1 || req.Lanes > stoch.MaxPackLanes {
+			return 0, 0, errf(http.StatusBadRequest, "invalid_request",
+				"lanes %d outside [1,%d]", req.Lanes, stoch.MaxPackLanes)
 		}
 	}
 	if req.Tick != 0 {
@@ -331,44 +347,59 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return resp, nil
 		}
 
-		var res *sim.BitResult
+		// The compiled program is width-agnostic and cached per netlist;
+		// vectors stream through it in register blocks of req.Lanes lanes.
+		var runPack func(lanes int) (*sim.BitResult, error)
 		if mode == sim.ZeroDelay {
 			prog, err := s.program(req.circuitKey(), c, prm)
 			if err != nil {
 				return nil, err
 			}
-			stim, err := sim.GeneratePackedWaveforms(c.Inputs, pi, req.Horizon, req.Vectors, rng)
-			if err != nil {
-				return nil, err
-			}
-			res, err = prog.Run(stim)
-			if err != nil {
-				return nil, err
+			runPack = func(lanes int) (*sim.BitResult, error) {
+				stim, err := sim.GeneratePackedWaveforms(c.Inputs, pi, req.Horizon, lanes, rng)
+				if err != nil {
+					return nil, err
+				}
+				return prog.Run(stim)
 			}
 		} else {
 			prog, err := s.timedProgram(req.circuitKey(), c, prm)
 			if err != nil {
 				return nil, err
 			}
-			laneWaves, err := sim.GenerateLaneWaveforms(c.Inputs, pi, req.Horizon, req.Vectors, rng)
-			if err != nil {
-				return nil, err
-			}
-			stim, err := prog.PackTimed(laneWaves, req.Horizon)
-			if err != nil {
-				return nil, err
-			}
-			res, err = prog.Run(stim)
-			if err != nil {
-				return nil, err
+			runPack = func(lanes int) (*sim.BitResult, error) {
+				laneWaves, err := sim.GenerateLaneWaveforms(c.Inputs, pi, req.Horizon, lanes, rng)
+				if err != nil {
+					return nil, err
+				}
+				stim, err := prog.PackTimed(laneWaves, req.Horizon)
+				if err != nil {
+					return nil, err
+				}
+				return prog.Run(stim)
 			}
 		}
-		resp.Lanes = res.Lanes
-		resp.Energy = res.Energy
-		resp.Power = res.Power
-		resp.InternalFlips = res.InternalFlips
-		resp.OutputFlips = res.OutputFlips
-		resp.Steps = res.Steps
+		total := sim.Result{Horizon: req.Horizon}
+		steps := 0
+		for done := 0; done < req.Vectors; {
+			n := req.Lanes
+			if req.Vectors-done < n {
+				n = req.Vectors - done
+			}
+			res, err := runPack(n)
+			if err != nil {
+				return nil, err
+			}
+			total.Accumulate(&res.Result)
+			steps += res.Steps
+			done += n
+		}
+		resp.Lanes = req.Vectors
+		resp.Energy = total.Energy
+		resp.Power = total.Energy / (float64(req.Vectors) * req.Horizon)
+		resp.InternalFlips = total.InternalFlips
+		resp.OutputFlips = total.OutputFlips
+		resp.Steps = steps
 		return resp, nil
 	})
 	if err != nil {
@@ -414,6 +445,8 @@ type sweepRequest struct {
 	Modes      []string `json:"modes,omitempty"`     // default: full
 	Seeds      []int64  `json:"seeds,omitempty"`     // default: one run
 	Simulate   bool     `json:"simulate,omitempty"`  // also measure the S column
+	Vectors    int      `json:"vectors,omitempty"`   // S-column Monte Carlo vectors per job (default 64)
+	Lanes      int      `json:"lanes,omitempty"`     // register-block lane width per pass, 1..512 (default 64)
 }
 
 // maxSweepJobs bounds the cross product one request may enqueue.
@@ -455,6 +488,20 @@ func (req *sweepRequest) toOptions(s *Server) (sweep.Options, error) {
 			}
 			opt.Modes = append(opt.Modes, parsed)
 		}
+	}
+	if req.Vectors != 0 {
+		if req.Vectors < 1 || req.Vectors > maxSimulateVectors {
+			return opt, errf(http.StatusBadRequest, "invalid_request",
+				"vectors %d outside [1,%d]", req.Vectors, maxSimulateVectors)
+		}
+		opt.Expt.SimVectors = req.Vectors
+	}
+	if req.Lanes != 0 {
+		if req.Lanes < 1 || req.Lanes > stoch.MaxPackLanes {
+			return opt, errf(http.StatusBadRequest, "invalid_request",
+				"lanes %d outside [1,%d]", req.Lanes, stoch.MaxPackLanes)
+		}
+		opt.Expt.SimLanes = req.Lanes
 	}
 	opt.Seeds = req.Seeds
 	if n := len(sweep.Jobs(opt)); n > maxSweepJobs {

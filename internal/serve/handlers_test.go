@@ -82,7 +82,9 @@ func TestHandlerValidation(t *testing.T) {
 		{"simulate unknown engine", "POST", "/v1/simulate", `{"benchmark":"c17","engine":"warp"}`, 400, "invalid_request"},
 		{"simulate unknown delay", "POST", "/v1/simulate", `{"benchmark":"c17","delay":"sometimes"}`, 400, "invalid_request"},
 		{"simulate vectors on event engine", "POST", "/v1/simulate", `{"benchmark":"c17","engine":"event","vectors":8}`, 400, "invalid_request"},
-		{"simulate too many vectors", "POST", "/v1/simulate", `{"benchmark":"c17","vectors":65}`, 400, "invalid_request"},
+		{"simulate too many vectors", "POST", "/v1/simulate", `{"benchmark":"c17","vectors":4097}`, 400, "invalid_request"},
+		{"simulate too many lanes", "POST", "/v1/simulate", `{"benchmark":"c17","lanes":513}`, 400, "invalid_request"},
+		{"simulate lanes on event engine", "POST", "/v1/simulate", `{"benchmark":"c17","engine":"event","lanes":64}`, 400, "invalid_request"},
 		{"simulate tick in zero-delay mode", "POST", "/v1/simulate", `{"benchmark":"c17","delay":"zero","tick":1e-10}`, 400, "invalid_request"},
 		{"simulate negative tick", "POST", "/v1/simulate", `{"benchmark":"c17","delay":"unit","tick":-1e-10}`, 400, "invalid_request"},
 		{"simulate horizon too long", "POST", "/v1/simulate", `{"benchmark":"c17","horizon":10}`, 400, "invalid_request"},

@@ -44,8 +44,10 @@ func RunPacked(c *circuit.Circuit, stim *stoch.PackedStimulus, prm Params) (*Bit
 }
 
 // Run evaluates the packed stimulus: one pass over the op array per
-// settling step, 64 lanes per word, transition metering by popcount. The
-// Program is read-only; concurrent Runs are safe.
+// settling step, 64 lanes per register-block word (up to 512 lanes in an
+// 8-word block), transition metering by popcount. The Program is
+// read-only; concurrent Runs are safe — including runs of different lane
+// widths, whose scratch register files are never shared.
 func (p *Program) Run(stim *stoch.PackedStimulus) (*BitResult, error) {
 	return p.run(stim, false)
 }
@@ -93,13 +95,24 @@ func (p *Program) run(stim *stoch.PackedStimulus, perLane bool) (*BitResult, err
 }
 
 // runScratch is the pooled register file + count slice of one evaluation.
+// words records the block width the register file was sized for.
 type runScratch struct {
+	words  int
 	regs   []uint64
 	counts []int64
 }
 
-func (p *Program) getScratch() *runScratch {
+// getScratch returns a zeroed scratch whose register file matches the
+// requested block width. Pooled buffers sized for a different width are
+// never handed out at the wrong stride — a stimulus of another lane width
+// forces the register file to be reallocated, so one Program can serve
+// interleaved 64-, 256- and 512-lane runs safely.
+func (p *Program) getScratch(words int) *runScratch {
 	if sc, ok := p.scratch.Get().(*runScratch); ok {
+		if sc.words != words {
+			sc.words = words
+			sc.regs = make([]uint64, p.numRegs*words)
+		}
 		for i := range sc.regs {
 			sc.regs[i] = 0
 		}
@@ -109,7 +122,8 @@ func (p *Program) getScratch() *runScratch {
 		return sc
 	}
 	return &runScratch{
-		regs:   make([]uint64, p.numRegs),
+		words:  words,
+		regs:   make([]uint64, p.numRegs*words),
 		counts: make([]int64, len(p.meters)),
 	}
 }
@@ -126,10 +140,17 @@ func (p *Program) execStim(stim *stoch.PackedStimulus, laneCounts [][]int) (*run
 	if err != nil {
 		return nil, err
 	}
-	mask := stim.LaneMask()
-	sc := p.getScratch()
+	W := stim.WordWidth()
+	var maskArr [stoch.MaxWords]uint64
+	for w := 0; w < W; w++ {
+		maskArr[w] = stim.WordMask(w)
+	}
+	masks := maskArr[:W]
+	sc := p.getScratch(W)
 	regs, counts := sc.regs, sc.counts
-	regs[1] = ^uint64(0)
+	for w := 0; w < W; w++ {
+		regs[W+w] = ^uint64(0) // register 1: the all-ones constant block
+	}
 
 	// t=0 settle: load initial inputs, evaluate, commit without metering.
 	for i, r := range p.inReg {
@@ -137,41 +158,90 @@ func (p *Program) execStim(stim *stoch.PackedStimulus, laneCounts [][]int) (*run
 		if inRow != nil {
 			row = inRow[i]
 		}
-		regs[r] = stim.Initial[row] & mask
+		for w := 0; w < W; w++ {
+			regs[int(r)*W+w] = stim.Initial[row*W+w] & masks[w]
+		}
 	}
-	execOps(p.ops, regs)
+	runOps(p.ops, regs, W)
 	for _, mp := range p.meters {
-		regs[mp.stateReg] = regs[mp.valueReg]
+		copy(regs[int(mp.stateReg)*W:int(mp.stateReg)*W+W], regs[int(mp.valueReg)*W:int(mp.valueReg)*W+W])
 	}
 
 	for s := 0; s < stim.Steps; s++ {
+		// Word-change mask, folded into the input loads that happen anyway.
+		// The packed step axis is the union of every lane's settling
+		// instants, so at wide widths most steps touch one word of the
+		// block: an unchanged word would recompute exactly the values it
+		// already holds and meter all-zero diffs, so it is skipped outright
+		// — evaluation cost tracks per-lane activity, not steps × width.
+		var chg uint32
 		for i, r := range p.inReg {
 			row := i
 			if inRow != nil {
 				row = inRow[i]
 			}
-			regs[r] = stim.Bits[row][s] & mask
+			rb, sb := int(r)*W, s*W
+			for w := 0; w < W; w++ {
+				if v := stim.Bits[row][sb+w] & masks[w]; regs[rb+w] != v {
+					regs[rb+w] = v
+					chg |= 1 << uint(w)
+				}
+			}
 		}
-		execOps(p.ops, regs)
+		if chg == 0 {
+			continue
+		}
+		// Half-full or better blocks run the full-width SIMD kernels (the
+		// unchanged words are recomputed in place, harmlessly); sparser
+		// blocks take the strided single-word kernel per changed word.
+		if k := bits.OnesCount32(chg); 2*k >= W {
+			runOps(p.ops, regs, W)
+		} else {
+			for m := chg; m != 0; m &= m - 1 {
+				runOpsWord(p.ops, regs, W, bits.TrailingZeros32(m))
+			}
+		}
 		for mi := range p.meters {
 			mp := &p.meters[mi]
-			d := (regs[mp.valueReg] ^ regs[mp.stateReg]) & mask
-			if d != 0 {
-				counts[mi] += int64(bits.OnesCount64(d))
-				if laneCounts != nil {
-					lc := laneCounts[mi]
-					for w := d; w != 0; w &= w - 1 {
-						lc[bits.TrailingZeros64(w)]++
+			vb, sb := int(mp.valueReg)*W, int(mp.stateReg)*W
+			for m := chg; m != 0; m &= m - 1 {
+				w := bits.TrailingZeros32(m)
+				d := (regs[vb+w] ^ regs[sb+w]) & masks[w]
+				if d != 0 {
+					counts[mi] += int64(bits.OnesCount64(d))
+					if laneCounts != nil {
+						lc := laneCounts[mi]
+						base := w * stoch.MaxLanes
+						for x := d; x != 0; x &= x - 1 {
+							lc[base+bits.TrailingZeros64(x)]++
+						}
 					}
+					regs[sb+w] = regs[vb+w]
 				}
-				regs[mp.stateReg] = regs[mp.valueReg]
 			}
 		}
 	}
 	return sc, nil
 }
 
-// execOps runs a compiled op stream once over the register file.
+// runOps runs a compiled op stream once over a register file of W-word
+// blocks: register r is regs[r·W:(r+1)·W]. W ∈ {1, 4, 8} dispatch to
+// straight-line kernels whose fixed-size array blocks the compiler can
+// keep in vector registers; other widths take the generic block loop.
+func runOps(ops []bitOp, regs []uint64, words int) {
+	switch words {
+	case 1:
+		execOps(ops, regs)
+	case 4:
+		execOps4(ops, regs)
+	case 8:
+		execOps8(ops, regs)
+	default:
+		execOpsN(ops, regs, words)
+	}
+}
+
+// execOps runs a compiled op stream once over a 1-word register file.
 func execOps(ops []bitOp, regs []uint64) {
 	for i := range ops {
 		op := &ops[i]
@@ -184,6 +254,141 @@ func execOps(ops []bitOp, regs []uint64) {
 			regs[op.dst] = regs[op.a] &^ regs[op.b]
 		default: // opNot
 			regs[op.dst] = ^regs[op.a]
+		}
+	}
+}
+
+// execOps4 is the 4-word (256-lane) kernel: fixed-size array pointers per
+// block so each op is four independent word operations with no
+// loop-carried dependence — the shape the auto-vectorizer wants.
+func execOps4(ops []bitOp, regs []uint64) {
+	for i := range ops {
+		op := &ops[i]
+		dst := (*[4]uint64)(regs[int(op.dst)*4:])
+		a := (*[4]uint64)(regs[int(op.a)*4:])
+		switch op.code {
+		case opAnd:
+			b := (*[4]uint64)(regs[int(op.b)*4:])
+			dst[0], dst[1], dst[2], dst[3] = a[0]&b[0], a[1]&b[1], a[2]&b[2], a[3]&b[3]
+		case opOr:
+			b := (*[4]uint64)(regs[int(op.b)*4:])
+			dst[0], dst[1], dst[2], dst[3] = a[0]|b[0], a[1]|b[1], a[2]|b[2], a[3]|b[3]
+		case opAndNot:
+			b := (*[4]uint64)(regs[int(op.b)*4:])
+			dst[0], dst[1], dst[2], dst[3] = a[0]&^b[0], a[1]&^b[1], a[2]&^b[2], a[3]&^b[3]
+		default: // opNot
+			dst[0], dst[1], dst[2], dst[3] = ^a[0], ^a[1], ^a[2], ^a[3]
+		}
+	}
+}
+
+// execOps8 is the 8-word (512-lane) kernel.
+func execOps8(ops []bitOp, regs []uint64) {
+	for i := range ops {
+		op := &ops[i]
+		dst := (*[8]uint64)(regs[int(op.dst)*8:])
+		a := (*[8]uint64)(regs[int(op.a)*8:])
+		switch op.code {
+		case opAnd:
+			b := (*[8]uint64)(regs[int(op.b)*8:])
+			for w := 0; w < 8; w++ {
+				dst[w] = a[w] & b[w]
+			}
+		case opOr:
+			b := (*[8]uint64)(regs[int(op.b)*8:])
+			for w := 0; w < 8; w++ {
+				dst[w] = a[w] | b[w]
+			}
+		case opAndNot:
+			b := (*[8]uint64)(regs[int(op.b)*8:])
+			for w := 0; w < 8; w++ {
+				dst[w] = a[w] &^ b[w]
+			}
+		default: // opNot
+			for w := 0; w < 8; w++ {
+				dst[w] = ^a[w]
+			}
+		}
+	}
+}
+
+// runOpsWord runs a compiled op stream over a single word w of a W-word
+// block-interleaved register file (register r's word w is regs[r·W+w]) —
+// the zero-delay engine's sparse-step kernel, for steps that touch a
+// strict minority of a wide block's words.
+func runOpsWord(ops []bitOp, regs []uint64, W, w int) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.code {
+		case opAnd:
+			regs[int(op.dst)*W+w] = regs[int(op.a)*W+w] & regs[int(op.b)*W+w]
+		case opOr:
+			regs[int(op.dst)*W+w] = regs[int(op.a)*W+w] | regs[int(op.b)*W+w]
+		case opAndNot:
+			regs[int(op.dst)*W+w] = regs[int(op.a)*W+w] &^ regs[int(op.b)*W+w]
+		default: // opNot
+			regs[int(op.dst)*W+w] = ^regs[int(op.a)*W+w]
+		}
+	}
+}
+
+// execOpsPlanes4 runs a compiled op stream once over four plane-major
+// register files at once (plane w is regs[w·R:(w+1)·R]) — the timed
+// engine's dense-instant kernel. Four independent word operations issue
+// per compiled op, recovering the instruction-level parallelism of the
+// block-interleaved execOps4 without giving up the plane layout the
+// sparse single-word path needs.
+func execOpsPlanes4(ops []bitOp, regs []uint64, R int) {
+	p0, p1, p2, p3 := regs[0:R], regs[R:2*R], regs[2*R:3*R], regs[3*R:4*R]
+	for i := range ops {
+		op := &ops[i]
+		a, b, d := int(op.a), int(op.b), int(op.dst)
+		switch op.code {
+		case opAnd:
+			p0[d], p1[d], p2[d], p3[d] = p0[a]&p0[b], p1[a]&p1[b], p2[a]&p2[b], p3[a]&p3[b]
+		case opOr:
+			p0[d], p1[d], p2[d], p3[d] = p0[a]|p0[b], p1[a]|p1[b], p2[a]|p2[b], p3[a]|p3[b]
+		case opAndNot:
+			p0[d], p1[d], p2[d], p3[d] = p0[a]&^p0[b], p1[a]&^p1[b], p2[a]&^p2[b], p3[a]&^p3[b]
+		default: // opNot
+			p0[d], p1[d], p2[d], p3[d] = ^p0[a], ^p1[a], ^p2[a], ^p3[a]
+		}
+	}
+}
+
+// execOpsPlanes8 is the eight-plane form of execOpsPlanes4.
+func execOpsPlanes8(ops []bitOp, regs []uint64, R int) {
+	execOpsPlanes4(ops, regs[:4*R], R)
+	execOpsPlanes4(ops, regs[4*R:], R)
+}
+
+// execOpsN is the generic block kernel for widths without a specialized
+// form.
+func execOpsN(ops []bitOp, regs []uint64, words int) {
+	for i := range ops {
+		op := &ops[i]
+		dst := regs[int(op.dst)*words:][:words]
+		a := regs[int(op.a)*words:][:words:words]
+		switch op.code {
+		case opAnd:
+			b := regs[int(op.b)*words:][:words:words]
+			for w := range dst {
+				dst[w] = a[w] & b[w]
+			}
+		case opOr:
+			b := regs[int(op.b)*words:][:words:words]
+			for w := range dst {
+				dst[w] = a[w] | b[w]
+			}
+		case opAndNot:
+			b := regs[int(op.b)*words:][:words:words]
+			for w := range dst {
+				dst[w] = a[w] &^ b[w]
+			}
+		default: // opNot
+			for w := range dst {
+				dst[w] = ^a[w]
+			}
 		}
 	}
 }
@@ -284,8 +489,8 @@ func GeneratePackedClockedWaveforms(inputs []string, stats map[string]stoch.Sign
 }
 
 func generateLaneWaveforms(inputs []string, lanes int, gen func() (map[string]*stoch.Waveform, error)) ([]map[string]*stoch.Waveform, error) {
-	if lanes < 1 || lanes > stoch.MaxLanes {
-		return nil, fmt.Errorf("sim: %d vectors out of [1,%d] per packed run", lanes, stoch.MaxLanes)
+	if lanes < 1 || lanes > stoch.MaxPackLanes {
+		return nil, fmt.Errorf("sim: %d vectors out of [1,%d] per packed run", lanes, stoch.MaxPackLanes)
 	}
 	laneWaves := make([]map[string]*stoch.Waveform, lanes)
 	for l := range laneWaves {

@@ -16,8 +16,12 @@ import (
 // flooding — with straight-line code over dense register indices:
 //
 //   - Every net and every transistor-level node gets a register in a flat
-//     []uint64 file; bit l of a register is the node's value in Monte
-//     Carlo lane l.
+//     []uint64 file. A register is a block of W consecutive words
+//     (structure-of-arrays; W is fixed per evaluation by the stimulus, up
+//     to stoch.MaxWords): bit l%64 of block word l/64 is the node's value
+//     in Monte Carlo lane l. The compiled program itself is width-agnostic
+//     — ops name register indices, and the exec kernels stride them by
+//     the block width at run time.
 //   - Each gate's output is its path function H_y; each internal node nk
 //     settles to  new = H_nk | (prev &^ (H_nk|G_nk))  — driven nodes take
 //     their rail value, undriven nodes retain charge. H and G are exactly

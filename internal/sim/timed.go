@@ -41,9 +41,12 @@ import (
 // at the same tick resolution.
 
 // fireEntry schedules an output update: gate g samples and applies its
-// computed output in the given lanes when the slot's tick arrives.
+// computed output in the given lanes of block word `word` when the slot's
+// tick arrives. One entry per (gate, word) keeps the wheel allocation-free
+// at every block width.
 type fireEntry struct {
 	gate  int32
+	word  int32
 	lanes uint64
 }
 
@@ -58,10 +61,10 @@ type timedGate struct {
 	yReg     int32 // combinational output, rewritten by the gate's ops
 	prevY    int32 // persistent last-computed output
 	out      int32 // persistent net value of the gate's output
-	delay    int64 // output delay in ticks, ≥ 1
 	outMeter int32 // meter index of the output net
 	intStart int32 // [intStart,intEnd) index internal meters in meters
 	intEnd   int32
+	delay    int64   // output delay in ticks, ≥ 1
 	readers  []int32 // gate indices reading the output net
 }
 
@@ -257,13 +260,22 @@ func CompileTimed(c *circuit.Circuit, prm Params) (*TimedProgram, error) {
 	}
 	for gi, g := range order {
 		for _, pin := range g.Pins {
-			// A gate listed once per pin it reads a net on is harmless:
-			// dirty-marking is an idempotent OR (the event engine's reader
-			// lists carry the same per-pin duplicates).
+			// A gate reading a net on several pins appears once: dirty
+			// marking is an idempotent OR, so the duplicate entries the
+			// event engine's reader lists carry would only cost redundant
+			// bitmap stores in the hot fire path. Duplicates from one
+			// gate's pin loop land consecutively, so checking the tail is
+			// enough.
 			if di, ok := gateIdx[pin]; ok {
-				tp.tg[di].readers = append(tp.tg[di].readers, int32(gi))
+				rs := tp.tg[di].readers
+				if n := len(rs); n == 0 || rs[n-1] != int32(gi) {
+					tp.tg[di].readers = append(rs, int32(gi))
+				}
 			} else if ii, ok := inputIdx[pin]; ok {
-				tp.inReaders[ii] = append(tp.inReaders[ii], int32(gi))
+				rs := tp.inReaders[ii]
+				if n := len(rs); n == 0 || rs[n-1] != int32(gi) {
+					tp.inReaders[ii] = append(rs, int32(gi))
+				}
 			}
 		}
 	}
@@ -285,35 +297,53 @@ func CompileTimed(c *circuit.Circuit, prm Params) (*TimedProgram, error) {
 		}
 	}
 
-	tp.scratch.New = func() any { return newTimedScratch(tp) }
 	return tp, nil
 }
 
-// timedScratch is the pooled mutable state of one timed run.
+// timedScratch is the pooled mutable state of one timed run, sized for
+// one register-block width (words).
 type timedScratch struct {
-	regs     []uint64
-	dirty    []uint64 // per gate: lanes whose fan-in changed this instant
-	fire     []uint64 // per gate: lanes with a pending update this instant
+	words    int
+	regs     []uint64 // plane-major: word w of register r is [w·numRegs + r]
+	dirty    []uint64 // [gate·W + w]: lanes whose fan-in changed this instant
+	fire     []uint64 // [gate·W + w]: lanes with a pending update this instant
 	counts   []int64  // per meter
 	wheel    []fireSlot
 	tickHeap []int64
 	marked   []uint64 // bitmap over gate indices marked this instant
+	agenda   []uint64 // summary bitmap: bit j set ⇔ marked[j] non-zero
 	steps    int      // instants processed
 }
 
-func newTimedScratch(tp *TimedProgram) *timedScratch {
+func newTimedScratch(tp *TimedProgram, words int) *timedScratch {
+	markedWords := (len(tp.tg) + 63) / 64
 	sc := &timedScratch{
-		regs:   make([]uint64, tp.numRegs),
-		dirty:  make([]uint64, len(tp.tg)),
-		fire:   make([]uint64, len(tp.tg)),
+		words:  words,
+		regs:   make([]uint64, tp.numRegs*words),
+		dirty:  make([]uint64, len(tp.tg)*words),
+		fire:   make([]uint64, len(tp.tg)*words),
 		counts: make([]int64, len(tp.meters)),
 		wheel:  make([]fireSlot, tp.maxDelay+1),
-		marked: make([]uint64, (len(tp.tg)+63)/64),
+		marked: make([]uint64, markedWords),
+		agenda: make([]uint64, (markedWords+63)/64),
 	}
 	for i := range sc.wheel {
 		sc.wheel[i].tick = -1
 	}
 	return sc
+}
+
+// getScratch returns a reset scratch sized for the requested block width.
+// A pooled scratch from a run of a different lane width is discarded
+// rather than resized piecemeal — its register, dirty and fire strides
+// would all be wrong — so interleaved 64/256/512-lane runs on one program
+// never share buffers.
+func (tp *TimedProgram) getScratch(words int) *timedScratch {
+	if sc, ok := tp.scratch.Get().(*timedScratch); ok && sc.words == words {
+		sc.reset()
+		return sc
+	}
+	return newTimedScratch(tp, words)
 }
 
 // reset clears the scratch for a fresh run. Dirty/fire words and the wheel
@@ -337,6 +367,9 @@ func (sc *timedScratch) reset() {
 	sc.tickHeap = sc.tickHeap[:0]
 	for i := range sc.marked {
 		sc.marked[i] = 0
+	}
+	for i := range sc.agenda {
+		sc.agenda[i] = 0
 	}
 	sc.steps = 0
 }
@@ -416,53 +449,62 @@ func (tp *TimedProgram) exec(stim *stoch.TimedStimulus, laneCounts [][]int) (*ti
 			rowToProg[row] = int32(pi)
 		}
 	}
-	sc := tp.scratch.Get().(*timedScratch)
-	sc.reset()
+	W := stim.WordWidth()
+	var maskArr [stoch.MaxWords]uint64
+	for w := 0; w < W; w++ {
+		maskArr[w] = stim.WordMask(w)
+	}
+	masks := maskArr[:W]
+	sc := tp.getScratch(W)
 	regs, dirty, fire, counts := sc.regs, sc.dirty, sc.fire, sc.counts
-	regs[1] = ^uint64(0)
-	mask := stim.LaneMask()
+	// The timed register file is plane-major: word w of every register
+	// lives in the contiguous plane regs[w·R:(w+1)·R]. Lanes toggle at
+	// independent instants, so most of a timed run evaluates single words
+	// of a wide block — a plane keeps that single-word work inside one
+	// L1-resident window with unit-stride addressing, where the zero-delay
+	// engine's block-interleaved layout would spread it across the whole
+	// wide register file.
+	R := tp.numRegs
 	wheelLen := int64(len(sc.wheel))
 
 	// t=0 settle: load initial inputs and evaluate every gate once in
 	// topological order, committing nets, computed outputs and internal
 	// states without metering — the same zero-delay settle the event
-	// engine performs.
-	for i, r := range tp.inReg {
-		row := i
-		if inRow != nil {
-			row = inRow[i]
+	// engine performs. Gate evaluation and net commit interleave because
+	// each gate's ops read the committed `out` registers of its fan-in.
+	for w := 0; w < W; w++ {
+		plane := regs[w*R : w*R+R]
+		plane[1] = ^uint64(0) // register 1: the all-ones constant
+		for i, r := range tp.inReg {
+			row := i
+			if inRow != nil {
+				row = inRow[i]
+			}
+			plane[r] = stim.Initial[row*W+w] & masks[w]
 		}
-		regs[r] = stim.Initial[row] & mask
-	}
-	for g := range tp.tg {
-		gt := &tp.tg[g]
-		execOps(tp.ops[tp.opStart[g]:tp.opStart[g+1]], regs)
-		for mi := gt.intStart; mi < gt.intEnd; mi++ {
-			mp := &tp.meters[mi]
-			regs[mp.stateReg] = regs[mp.valueReg]
+		for g := range tp.tg {
+			gt := &tp.tg[g]
+			execOps(tp.ops[tp.opStart[g]:tp.opStart[g+1]], plane)
+			for mi := gt.intStart; mi < gt.intEnd; mi++ {
+				mp := &tp.meters[mi]
+				plane[mp.stateReg] = plane[mp.valueReg]
+			}
+			y := plane[gt.yReg]
+			plane[gt.prevY] = y
+			plane[gt.out] = y
 		}
-		y := regs[gt.yReg]
-		regs[gt.prevY] = y
-		regs[gt.out] = y
 	}
 
 	perLane := laneCounts != nil
-	meter := func(mi int32, diff uint64) {
-		counts[mi] += int64(bits.OnesCount64(diff))
-		if perLane {
-			lc := laneCounts[mi]
-			for w := diff; w != 0; w &= w - 1 {
-				lc[bits.TrailingZeros64(w)]++
-			}
-		}
-	}
 
 	ops, opStart, meters := tp.ops, tp.opStart, tp.meters
-	marked := sc.marked
+	marked, agenda := sc.marked, sc.agenda
+	fullW := uint32(1)<<uint(W) - 1
 	inputPtr := 0
 	for {
 		// Next active tick: the earlier of the next input instant and the
-		// earliest scheduled fire.
+		// earliest scheduled fire. The tick min-heap is the skip-ahead —
+		// quiet tick ranges between active instants are never visited.
 		t := int64(-1)
 		if inputPtr < len(stim.Ticks) {
 			t = stim.Ticks[inputPtr]
@@ -485,7 +527,8 @@ func (tp *TimedProgram) exec(stim *stoch.TimedStimulus, laneCounts [][]int) (*ti
 			for _, fe := range slot.entries {
 				g := fe.gate
 				marked[g>>6] |= 1 << (uint(g) & 63)
-				fire[g] |= fe.lanes
+				agenda[g>>12] |= 1 << (uint(g>>6) & 63)
+				fire[int(g)*W+int(fe.word)] |= fe.lanes
 			}
 			slot.entries = slot.entries[:0]
 			slot.tick = -1
@@ -493,7 +536,7 @@ func (tp *TimedProgram) exec(stim *stoch.TimedStimulus, laneCounts [][]int) (*ti
 		// Phase 1b: apply this tick's input toggles.
 		if inputPtr < len(stim.Ticks) && stim.Ticks[inputPtr] == t {
 			for _, tog := range stim.Toggles[inputPtr] {
-				m := tog.Lanes & mask
+				m := tog.Lanes & masks[tog.Word]
 				if m == 0 {
 					continue
 				}
@@ -503,73 +546,198 @@ func (tp *TimedProgram) exec(stim *stoch.TimedStimulus, laneCounts [][]int) (*ti
 						continue // stimulus drives an input the program lacks
 					}
 				}
-				regs[tp.inReg[i]] ^= m
-				meter(tp.inMeter[i], m)
+				regs[int(tog.Word)*R+int(tp.inReg[i])] ^= m
+				counts[tp.inMeter[i]] += int64(bits.OnesCount64(m))
+				if perLane {
+					meterLanes(laneCounts[tp.inMeter[i]], int(tog.Word), m)
+				}
 				for _, r := range tp.inReaders[i] {
 					marked[r>>6] |= 1 << (uint(r) & 63)
-					dirty[r] |= m
+					agenda[r>>12] |= 1 << (uint(r>>6) & 63)
+					dirty[int(r)*W+int(tog.Word)] |= m
 				}
 			}
 			inputPtr++
 		}
-		// Phase 2: sweep the marked cone in topological order. The marked
-		// set is a bitmap over gate indices, drained lowest bit first;
-		// marks only ever target later gates, so bits appearing during
-		// the sweep — in the current word above the bit just cleared, or
-		// in later words — are picked up by the same pass.
-		for w := 0; w < len(marked); w++ {
-			for marked[w] != 0 {
-				b := bits.TrailingZeros64(marked[w])
-				marked[w] &^= 1 << uint(b)
-				g := int32(w<<6 + b)
-				d := dirty[g]
-				f := fire[g]
-				gt := &tp.tg[g]
-				if d != 0 {
-					dirty[g] = 0
-					execOps(ops[opStart[g]:opStart[g+1]], regs)
-					for mi := gt.intStart; mi < gt.intEnd; mi++ {
-						mp := &meters[mi]
-						if diff := (regs[mp.valueReg] ^ regs[mp.stateReg]) & mask; diff != 0 {
-							meter(mi, diff)
-							regs[mp.stateReg] = regs[mp.valueReg]
+		// Phase 2: sweep the marked cone in topological order. The agenda
+		// is a two-level bitmap over gate indices: the summary word points
+		// at occupied marked words, so a sweep touching a handful of gates
+		// in a large circuit visits only their words instead of scanning
+		// the whole bitmap. Both levels drain lowest bit first; marks only
+		// ever target later gates (readers are topologically later), so
+		// bits appearing during the sweep — above the bit just cleared, or
+		// in later words — are picked up by the same pass, and a drained
+		// word is never re-marked.
+		for sw := 0; sw < len(agenda); sw++ {
+			for agenda[sw] != 0 {
+				wb := bits.TrailingZeros64(agenda[sw])
+				w := sw<<6 + wb
+				for marked[w] != 0 {
+					b := bits.TrailingZeros64(marked[w])
+					marked[w] &^= 1 << uint(b)
+					g := int32(w<<6 + b)
+					gt := &tp.tg[g]
+					if W == 1 {
+						// Single-word fast path: the 64-lane register file
+						// is one plane and the block masks collapse to the
+						// bitmap words themselves — none of the wide path's
+						// per-block occupancy bookkeeping is needed.
+						d, f := dirty[g], fire[g]
+						if d != 0 {
+							dirty[g] = 0
+							execOps(ops[opStart[g]:opStart[g+1]], regs)
+							for mi := gt.intStart; mi < gt.intEnd; mi++ {
+								mp := &meters[mi]
+								if diff := (regs[mp.valueReg] ^ regs[mp.stateReg]) & masks[0]; diff != 0 {
+									counts[mi] += int64(bits.OnesCount64(diff))
+									if perLane {
+										meterLanes(laneCounts[mi], 0, diff)
+									}
+									regs[mp.stateReg] = regs[mp.valueReg]
+								}
+							}
+							y := regs[gt.yReg]
+							sched := ((y ^ regs[gt.prevY]) | (y ^ regs[gt.out])) & d
+							regs[gt.prevY] = y
+							if sched != 0 {
+								T := t + gt.delay
+								slot := &sc.wheel[T%wheelLen]
+								if slot.tick != T {
+									slot.tick = T
+									slot.entries = slot.entries[:0]
+									sc.tickHeap = heapPush(sc.tickHeap, T)
+								}
+								slot.entries = append(slot.entries, fireEntry{gate: g, lanes: sched})
+							}
+						}
+						if f != 0 {
+							fire[g] = 0
+							if diff := (regs[gt.prevY] ^ regs[gt.out]) & f; diff != 0 {
+								regs[gt.out] ^= diff
+								counts[gt.outMeter] += int64(bits.OnesCount64(diff))
+								if perLane {
+									meterLanes(laneCounts[gt.outMeter], 0, diff)
+								}
+								for _, r := range gt.readers {
+									marked[r>>6] |= 1 << (uint(r) & 63)
+									agenda[r>>12] |= 1 << (uint(r>>6) & 63)
+									dirty[r] |= diff
+								}
+							}
+						}
+						continue
+					}
+					gb := int(g) * W
+					// Word occupancy masks: lanes toggle at independent
+					// instants, so a firing tick usually dirties one word
+					// of a wide block. Evaluation, metering and scheduling
+					// iterate only the occupied words — a wide run's work
+					// stays proportional to actual activity instead of
+					// scaling with the block width — and a single-word
+					// visit stays inside its own register plane. Fully
+					// dirty blocks (aligned cluster starts) take the
+					// plane-parallel kernels instead, which issue W
+					// independent word ops per compiled op.
+					// One pass over the block loads and clears both masks into
+					// stack words; the kernel dispatch and the per-word commit
+					// below read the cached copies instead of rescanning the
+					// bitmap arrays.
+					var dArr, fArr [stoch.MaxWords]uint64
+					var dw, fw uint32
+					for x := 0; x < W; x++ {
+						d, f := dirty[gb+x], fire[gb+x]
+						dArr[x], fArr[x] = d, f
+						if d != 0 {
+							dirty[gb+x] = 0
+							dw |= 1 << uint(x)
+						}
+						if f != 0 {
+							fire[gb+x] = 0
+							fw |= 1 << uint(x)
 						}
 					}
-					y := regs[gt.yReg]
-					// Schedule an update in exactly the lanes the event engine
-					// would: lanes re-evaluated this instant whose computed
-					// output changed or differs from the net.
-					sched := ((y ^ regs[gt.prevY]) | (y ^ regs[gt.out])) & d
-					regs[gt.prevY] = y
-					if sched != 0 {
-						T := t + gt.delay
-						slot := &sc.wheel[T%wheelLen]
-						if slot.tick != T {
-							slot.tick = T
-							slot.entries = slot.entries[:0]
-							sc.tickHeap = heapPush(sc.tickHeap, T)
+					if dw != 0 {
+						gops := ops[opStart[g]:opStart[g+1]]
+						switch {
+						case dw != fullW || W == 1:
+							for m := dw; m != 0; m &= m - 1 {
+								x := bits.TrailingZeros32(m)
+								execOps(gops, regs[x*R:x*R+R])
+							}
+						case W == 4:
+							execOpsPlanes4(gops, regs, R)
+						case W == 8:
+							execOpsPlanes8(gops, regs, R)
+						default:
+							for x := 0; x < W; x++ {
+								execOps(gops, regs[x*R:x*R+R])
+							}
 						}
-						slot.entries = append(slot.entries, fireEntry{gate: g, lanes: sched})
+					}
+					for m := dw | fw; m != 0; m &= m - 1 {
+						x := bits.TrailingZeros32(m)
+						px := x * R
+						if d := dArr[x]; dw&(1<<uint(x)) != 0 {
+							for mi := gt.intStart; mi < gt.intEnd; mi++ {
+								mp := &meters[mi]
+								if diff := (regs[px+int(mp.valueReg)] ^ regs[px+int(mp.stateReg)]) & masks[x]; diff != 0 {
+									counts[mi] += int64(bits.OnesCount64(diff))
+									if perLane {
+										meterLanes(laneCounts[mi], x, diff)
+									}
+									regs[px+int(mp.stateReg)] = regs[px+int(mp.valueReg)]
+								}
+							}
+							y := regs[px+int(gt.yReg)]
+							// Schedule an update in exactly the lanes the event
+							// engine would: lanes re-evaluated this instant whose
+							// computed output changed or differs from the net.
+							sched := ((y ^ regs[px+int(gt.prevY)]) | (y ^ regs[px+int(gt.out)])) & d
+							regs[px+int(gt.prevY)] = y
+							if sched != 0 {
+								T := t + gt.delay
+								slot := &sc.wheel[T%wheelLen]
+								if slot.tick != T {
+									slot.tick = T
+									slot.entries = slot.entries[:0]
+									sc.tickHeap = heapPush(sc.tickHeap, T)
+								}
+								slot.entries = append(slot.entries, fireEntry{gate: g, word: int32(x), lanes: sched})
+							}
+						}
+						if f := fArr[x]; fw&(1<<uint(x)) != 0 {
+							// Sample the current computed output: lanes whose
+							// pulse already collapsed see no difference and are
+							// filtered.
+							if diff := (regs[px+int(gt.prevY)] ^ regs[px+int(gt.out)]) & f; diff != 0 {
+								regs[px+int(gt.out)] ^= diff
+								counts[gt.outMeter] += int64(bits.OnesCount64(diff))
+								if perLane {
+									meterLanes(laneCounts[gt.outMeter], x, diff)
+								}
+								for _, r := range gt.readers {
+									marked[r>>6] |= 1 << (uint(r) & 63)
+									agenda[r>>12] |= 1 << (uint(r>>6) & 63)
+									dirty[int(r)*W+x] |= diff
+								}
+							}
+						}
 					}
 				}
-				if f != 0 {
-					fire[g] = 0
-					// Sample the current computed output: lanes whose
-					// pulse already collapsed see no difference and are
-					// filtered.
-					if diff := (regs[gt.prevY] ^ regs[gt.out]) & f; diff != 0 {
-						regs[gt.out] ^= diff
-						meter(gt.outMeter, diff)
-						for _, r := range gt.readers {
-							marked[r>>6] |= 1 << (uint(r) & 63)
-							dirty[r] |= diff
-						}
-					}
-				}
+				agenda[sw] &^= 1 << uint(wb)
 			}
 		}
 	}
 	return sc, nil
+}
+
+// meterLanes scatters a metered diff word into per-lane counters — the
+// RunLanes slow path; the measurement path never takes it.
+func meterLanes(lc []int, word int, diff uint64) {
+	base := word * stoch.MaxLanes
+	for x := diff; x != 0; x &= x - 1 {
+		lc[base+bits.TrailingZeros64(x)]++
+	}
 }
 
 // matchInputs maps program input order onto stimulus rows. A nil result

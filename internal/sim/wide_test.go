@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/library"
+	"repro/internal/mcnc"
+	"repro/internal/stoch"
+)
+
+// wideLaneEquivalence is the W-word register-block property check: on
+// every embedded MCNC benchmark, one wide run over `lanes` Monte Carlo
+// vectors must be bit-identical lane for lane to lanes/64 independent
+// 64-lane chunked runs of the same program — per-net transition counts,
+// internal flips, output flips and per-lane energy (the per-lane energy
+// sums walk the meter list in program order at every width, so even the
+// floats match exactly). Both directions run through the same compiled
+// program, so the pooled scratch must survive the width change between
+// the wide pass and the chunked passes (the width-validation path in
+// getScratch).
+func wideLaneEquivalence(t *testing.T, prm Params, lanes int) {
+	if lanes%stoch.MaxLanes != 0 {
+		t.Fatalf("lanes %d must be a multiple of %d", lanes, stoch.MaxLanes)
+	}
+	lib := library.Default()
+	const horizon = 1e-4
+	for _, name := range mcnc.EmbeddedNames() {
+		t.Run(name, func(t *testing.T) {
+			c, err := mcnc.Load(name, lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(name))*9001 + int64(lanes)))
+			stats := make(map[string]stoch.Signal, len(c.Inputs))
+			for _, in := range c.Inputs {
+				stats[in] = stoch.Signal{P: 0.1 + 0.8*rng.Float64(), D: 1e5 + 4e5*rng.Float64()}
+			}
+			laneWaves, err := GenerateLaneWaveforms(c.Inputs, stats, horizon, lanes, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// One compiled program serves both the wide pass and the
+			// chunked passes; only the stimulus width changes.
+			var run func(waves []map[string]*stoch.Waveform) (*BitResult, error)
+			if prm.Mode == ZeroDelay {
+				prog, err := Compile(c, prm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run = func(waves []map[string]*stoch.Waveform) (*BitResult, error) {
+					stim, err := stoch.PackWaveforms(c.Inputs, waves, horizon)
+					if err != nil {
+						return nil, err
+					}
+					return prog.RunLanes(stim)
+				}
+			} else {
+				prog, err := CompileTimed(c, prm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run = func(waves []map[string]*stoch.Waveform) (*BitResult, error) {
+					stim, err := prog.PackTimed(waves, horizon)
+					if err != nil {
+						return nil, err
+					}
+					return prog.RunLanes(stim)
+				}
+			}
+
+			wide, err := run(laneWaves)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wide.Lanes != lanes {
+				t.Fatalf("wide run reports %d lanes, want %d", wide.Lanes, lanes)
+			}
+
+			var chunkEnergy float64
+			for chunk := 0; chunk < lanes/stoch.MaxLanes; chunk++ {
+				lo := chunk * stoch.MaxLanes
+				ref, err := run(laneWaves[lo : lo+stoch.MaxLanes])
+				if err != nil {
+					t.Fatal(err)
+				}
+				chunkEnergy += ref.Energy
+				for o := 0; o < stoch.MaxLanes; o++ {
+					l := lo + o
+					for net, row := range ref.LaneNetTransitions {
+						if wide.LaneNetTransitions[net][l] != row[o] {
+							t.Fatalf("lane %d net %s: wide %d transitions, 64-lane chunk %d",
+								l, net, wide.LaneNetTransitions[net][l], row[o])
+						}
+					}
+					for net, row := range wide.LaneNetTransitions {
+						if row[l] != ref.LaneNetTransitions[net][o] {
+							t.Fatalf("lane %d net %s: wide %d transitions, 64-lane chunk %d",
+								l, net, row[l], ref.LaneNetTransitions[net][o])
+						}
+					}
+					if wide.LaneInternalFlips[l] != ref.LaneInternalFlips[o] {
+						t.Fatalf("lane %d: internal flips %d wide vs %d chunked",
+							l, wide.LaneInternalFlips[l], ref.LaneInternalFlips[o])
+					}
+					if wide.LaneOutputFlips[l] != ref.LaneOutputFlips[o] {
+						t.Fatalf("lane %d: output flips %d wide vs %d chunked",
+							l, wide.LaneOutputFlips[l], ref.LaneOutputFlips[o])
+					}
+					if wide.LaneEnergy[l] != ref.LaneEnergy[o] {
+						t.Fatalf("lane %d: energy %g wide vs %g chunked (want bit-identical)",
+							l, wide.LaneEnergy[l], ref.LaneEnergy[o])
+					}
+				}
+			}
+			// Totals fold the same per-meter counts, but the FP summation
+			// order differs across widths — compare with a tolerance.
+			if math.Abs(wide.Energy-chunkEnergy) > 1e-9*math.Max(chunkEnergy, 1e-30) {
+				t.Fatalf("total energy %g wide, %g summed over chunks", wide.Energy, chunkEnergy)
+			}
+			if wide.OutputFlips == 0 {
+				t.Fatal("no output activity: the equivalence check is vacuous")
+			}
+		})
+	}
+}
+
+// TestWideLaneEquivalenceZeroDelay pins the 256-lane (W=4) levelized
+// kernels to the one-word engine on every embedded benchmark.
+func TestWideLaneEquivalenceZeroDelay(t *testing.T) {
+	wideLaneEquivalence(t, zeroParams(), 4*stoch.MaxLanes)
+}
+
+// TestWideLaneEquivalenceUnitDelay pins the 256-lane timed wheel with
+// per-word fire masks to the one-word timed engine.
+func TestWideLaneEquivalenceUnitDelay(t *testing.T) {
+	wideLaneEquivalence(t, DefaultParams(), 4*stoch.MaxLanes)
+}
+
+// TestWideLaneEquivalenceElmoreDelay does the same under heterogeneous
+// Elmore delays, where multi-tick scheduling and the two-level agenda
+// sweep are actually exercised.
+func TestWideLaneEquivalenceElmoreDelay(t *testing.T) {
+	prm := DefaultParams()
+	prm.Mode = ElmoreDelay
+	wideLaneEquivalence(t, prm, 4*stoch.MaxLanes)
+}
+
+// TestWideLaneEquivalence512 runs the full three-mode property at the
+// 512-lane (W=8) maximum width, where the unrolled 8-word kernels and
+// the top word-block of every mask boundary are in play.
+func TestWideLaneEquivalence512(t *testing.T) {
+	zero := zeroParams()
+	unit := DefaultParams()
+	elmore := DefaultParams()
+	elmore.Mode = ElmoreDelay
+	t.Run("zero", func(t *testing.T) { wideLaneEquivalence(t, zero, 8*stoch.MaxLanes) })
+	t.Run("unit", func(t *testing.T) { wideLaneEquivalence(t, unit, 8*stoch.MaxLanes) })
+	t.Run("elmore", func(t *testing.T) { wideLaneEquivalence(t, elmore, 8*stoch.MaxLanes) })
+}
+
+// TestScratchPoolWidthReuse interleaves widths on one compiled program
+// pair so a pooled scratch allocated at one width is always offered back
+// at another: a stale-width buffer that slipped through would corrupt
+// the register file (zero-delay) or the wheel bitmaps (timed). Results
+// at every width must equal a fresh single-width run.
+func TestScratchPoolWidthReuse(t *testing.T) {
+	lib := library.Default()
+	c, err := mcnc.Load("rca8", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 1e-4
+	rng := rand.New(rand.NewSource(515))
+	stats := make(map[string]stoch.Signal, len(c.Inputs))
+	for _, in := range c.Inputs {
+		stats[in] = stoch.Signal{P: 0.5, D: 2e5}
+	}
+	laneWaves, err := GenerateLaneWaveforms(c.Inputs, stats, horizon, stoch.MaxPackLanes, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mode DelayMode
+	}{{"zero", ZeroDelay}, {"unit", UnitDelay}, {"elmore", ElmoreDelay}} {
+		mode := tc.mode
+		prm := DefaultParams()
+		prm.Mode = mode
+		t.Run(tc.name, func(t *testing.T) {
+			var run func(waves []map[string]*stoch.Waveform) float64
+			if mode == ZeroDelay {
+				prog, err := Compile(c, prm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run = func(waves []map[string]*stoch.Waveform) float64 {
+					stim, err := stoch.PackWaveforms(c.Inputs, waves, horizon)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e, err := prog.RunEnergy(stim)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return e
+				}
+			} else {
+				prog, err := CompileTimed(c, prm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run = func(waves []map[string]*stoch.Waveform) float64 {
+					stim, err := prog.PackTimed(waves, horizon)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e, err := prog.RunEnergy(stim)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return e
+				}
+			}
+			// Fresh-pool references, one per width.
+			widths := []int{64, 256, 512, 64, 512, 256}
+			want := map[int]float64{}
+			for _, w := range []int{64, 256, 512} {
+				want[w] = run(laneWaves[:w])
+			}
+			// Interleave widths; each run's pooled scratch comes from a
+			// different width than it was allocated at.
+			for i, w := range widths {
+				if got := run(laneWaves[:w]); got != want[w] {
+					t.Fatalf("pass %d width %d: energy %g, want %g (scratch pool reused across widths)",
+						i, w, got, want[w])
+				}
+			}
+		})
+	}
+}

@@ -91,12 +91,12 @@ func TestPackWaveformsErrors(t *testing.T) {
 	if _, err := PackWaveforms([]string{"a"}, nil, 1); err == nil {
 		t.Error("zero lanes accepted")
 	}
-	lanes := make([]map[string]*Waveform, MaxLanes+1)
+	lanes := make([]map[string]*Waveform, MaxPackLanes+1)
 	for i := range lanes {
 		lanes[i] = map[string]*Waveform{"a": {}}
 	}
 	if _, err := PackWaveforms([]string{"a"}, lanes, 1); err == nil {
-		t.Error("65 lanes accepted")
+		t.Errorf("%d lanes accepted", MaxPackLanes+1)
 	}
 	if _, err := PackWaveforms([]string{"a"}, []map[string]*Waveform{{}}, 1); err == nil {
 		t.Error("missing waveform accepted")
@@ -115,6 +115,39 @@ func TestLaneMask(t *testing.T) {
 		if got := ps.LaneMask(); got != tc.mask {
 			t.Errorf("LaneMask(%d) = %#x, want %#x", tc.lanes, got, tc.mask)
 		}
+	}
+}
+
+func TestLaneMaskOverRange(t *testing.T) {
+	// Regression: an out-of-range lane count used to yield a full mask, so
+	// a caller that skipped Validate could meter 64 phantom lanes. The mask
+	// must agree with Validate: zero whenever Validate would reject.
+	for _, tc := range []struct {
+		lanes, words int
+	}{
+		{0, 1}, {-1, 1}, {65, 1}, {1000, 1},
+		{0, 4}, {257, 4}, {MaxPackLanes + 1, MaxWords},
+	} {
+		ps := &PackedStimulus{Lanes: tc.lanes, Words: tc.words}
+		if err := ps.Validate(); err == nil {
+			t.Fatalf("Validate accepted %d lanes in %d words", tc.lanes, tc.words)
+		}
+		for w := 0; w < tc.words; w++ {
+			if got := ps.WordMask(w); got != 0 {
+				t.Errorf("PackedStimulus{Lanes: %d, Words: %d}.WordMask(%d) = %#x, want 0", tc.lanes, tc.words, w, got)
+			}
+		}
+		ts := &TimedStimulus{Lanes: tc.lanes, Words: tc.words}
+		for w := 0; w < tc.words; w++ {
+			if got := ts.WordMask(w); got != 0 {
+				t.Errorf("TimedStimulus{Lanes: %d, Words: %d}.WordMask(%d) = %#x, want 0", tc.lanes, tc.words, w, got)
+			}
+		}
+	}
+	// Out-of-range word indices of a valid stimulus are also zero.
+	ps := &PackedStimulus{Lanes: 200, Words: 4}
+	if ps.WordMask(-1) != 0 || ps.WordMask(4) != 0 {
+		t.Errorf("out-of-range word masks = %#x, %#x, want 0", ps.WordMask(-1), ps.WordMask(4))
 	}
 }
 

@@ -63,10 +63,12 @@ func QuantizeWaveform(w *Waveform, tick float64, horizonTicks int64) []TickEvent
 }
 
 // InputToggle is one packed input change: the named input (by index into
-// TimedStimulus.Inputs) flips in the given lanes. Quantization guarantees
-// every event is a real transition, so a toggle mask is exact.
+// TimedStimulus.Inputs) flips in the given lanes of block word Word.
+// Quantization guarantees every event is a real transition, so a toggle
+// mask is exact. Lane l of the stimulus lives in word l/64, bit l%64.
 type InputToggle struct {
 	Input int32
+	Word  int32
 	Lanes uint64
 }
 
@@ -89,34 +91,49 @@ type InputToggle struct {
 // cutoff applied to the original event times.
 type TimedStimulus struct {
 	Inputs       []string        // primary-input order; Initial is parallel to it
-	Lanes        int             // active lanes, 1..MaxLanes
+	Lanes        int             // active lanes, 1..Words·64
+	Words        int             // register-block width in words; 0 is treated as 1
 	Tick         float64         // seconds per tick
 	Horizon      float64         // per-lane simulated seconds (power normalization)
 	HorizonTicks int64           // input admission cutoff, TicksIn(Horizon, Tick)
 	Guard        int64           // settle window used for cluster alignment; 0 = unaligned
-	Initial      []uint64        // [input] lane bits at t=0, before any tick
+	Initial      []uint64        // [input·W + w] lane bits at t=0, before any tick
 	Ticks        []int64         // sorted distinct (virtual) ticks with input activity
 	Toggles      [][]InputToggle // parallel to Ticks
 }
 
-// LaneMask returns the word mask selecting the active lanes.
-func (ts *TimedStimulus) LaneMask() uint64 {
-	if ts.Lanes >= MaxLanes {
-		return ^uint64(0)
+// WordWidth returns the register-block width W in words (≥ 1).
+func (ts *TimedStimulus) WordWidth() int {
+	if ts.Words < 1 {
+		return 1
 	}
-	return uint64(1)<<ts.Lanes - 1
+	return ts.Words
+}
+
+// LaneMask returns the mask selecting the active lanes of word 0; 0 for
+// an over-range stimulus (see PackedStimulus.LaneMask).
+func (ts *TimedStimulus) LaneMask() uint64 { return ts.WordMask(0) }
+
+// WordMask returns the mask selecting the active lanes of block word w,
+// 0 for every word when Lanes is outside the range Validate accepts.
+func (ts *TimedStimulus) WordMask(w int) uint64 {
+	return laneMaskWord(ts.Lanes, ts.WordWidth(), w)
 }
 
 // Validate checks structural sanity.
 func (ts *TimedStimulus) Validate() error {
-	if ts.Lanes < 1 || ts.Lanes > MaxLanes {
-		return fmt.Errorf("stoch: %d lanes out of [1,%d]", ts.Lanes, MaxLanes)
+	W := ts.WordWidth()
+	if W > MaxWords {
+		return fmt.Errorf("stoch: %d-word register block wider than %d", W, MaxWords)
+	}
+	if ts.Lanes < 1 || ts.Lanes > W*MaxLanes {
+		return fmt.Errorf("stoch: %d lanes out of [1,%d]", ts.Lanes, W*MaxLanes)
 	}
 	if ts.Horizon <= 0 || ts.Tick <= 0 {
 		return fmt.Errorf("stoch: timed stimulus needs positive horizon and tick, got %v/%v", ts.Horizon, ts.Tick)
 	}
-	if len(ts.Initial) != len(ts.Inputs) {
-		return fmt.Errorf("stoch: timed stimulus shape mismatch: %d inputs, %d initial rows", len(ts.Inputs), len(ts.Initial))
+	if len(ts.Initial) != len(ts.Inputs)*W {
+		return fmt.Errorf("stoch: timed stimulus shape mismatch: %d inputs × %d words, %d initial rows", len(ts.Inputs), W, len(ts.Initial))
 	}
 	if len(ts.Toggles) != len(ts.Ticks) {
 		return fmt.Errorf("stoch: %d toggle groups for %d ticks", len(ts.Toggles), len(ts.Ticks))
@@ -124,7 +141,6 @@ func (ts *TimedStimulus) Validate() error {
 	if ts.Guard < 0 {
 		return fmt.Errorf("stoch: negative guard %d", ts.Guard)
 	}
-	mask := ts.LaneMask()
 	prev := int64(-1)
 	for k, tk := range ts.Ticks {
 		if tk <= prev {
@@ -138,7 +154,10 @@ func (ts *TimedStimulus) Validate() error {
 			if int(tg.Input) < 0 || int(tg.Input) >= len(ts.Inputs) {
 				return fmt.Errorf("stoch: toggle names input %d of %d", tg.Input, len(ts.Inputs))
 			}
-			if tg.Lanes&^mask != 0 {
+			if int(tg.Word) < 0 || int(tg.Word) >= W {
+				return fmt.Errorf("stoch: toggle of input %d names word %d of %d", tg.Input, tg.Word, W)
+			}
+			if tg.Lanes&^ts.WordMask(int(tg.Word)) != 0 {
 				return fmt.Errorf("stoch: toggle of input %d touches inactive lanes", tg.Input)
 			}
 		}
@@ -168,8 +187,8 @@ type timedEvent struct {
 // program's settle window (TimedProgram.SettleTicks) as the guard; 0
 // packs the original axis unchanged.
 func PackTimedWaveforms(inputs []string, lanes []map[string]*Waveform, horizon, tick float64, guard int64) (*TimedStimulus, error) {
-	if len(lanes) < 1 || len(lanes) > MaxLanes {
-		return nil, fmt.Errorf("stoch: %d lanes out of [1,%d]", len(lanes), MaxLanes)
+	if len(lanes) < 1 || len(lanes) > MaxPackLanes {
+		return nil, fmt.Errorf("stoch: %d lanes out of [1,%d]", len(lanes), MaxPackLanes)
 	}
 	if horizon <= 0 || tick <= 0 {
 		return nil, fmt.Errorf("stoch: timed packing needs positive horizon and tick, got %v/%v", horizon, tick)
@@ -177,14 +196,16 @@ func PackTimedWaveforms(inputs []string, lanes []map[string]*Waveform, horizon, 
 	if guard < 0 {
 		return nil, fmt.Errorf("stoch: negative guard %d", guard)
 	}
+	W := WordsFor(len(lanes))
 	ts := &TimedStimulus{
 		Inputs:       append([]string(nil), inputs...),
 		Lanes:        len(lanes),
+		Words:        W,
 		Tick:         tick,
 		Horizon:      horizon,
 		HorizonTicks: TicksIn(horizon, tick),
 		Guard:        guard,
-		Initial:      make([]uint64, len(inputs)),
+		Initial:      make([]uint64, len(inputs)*W),
 	}
 	perLane := make([][]timedEvent, len(lanes))
 	for l, waves := range lanes {
@@ -194,7 +215,7 @@ func PackTimedWaveforms(inputs []string, lanes []map[string]*Waveform, horizon, 
 				return nil, fmt.Errorf("stoch: lane %d has no waveform for input %q", l, in)
 			}
 			if w.Initial {
-				ts.Initial[i] |= 1 << l
+				ts.Initial[i*W+l/MaxLanes] |= 1 << uint(l%MaxLanes)
 			}
 			for _, te := range QuantizeWaveform(w, tick, ts.HorizonTicks) {
 				perLane[l] = append(perLane[l], timedEvent{tick: te.Tick, input: int32(i), lane: l})
@@ -213,18 +234,26 @@ func PackTimedWaveforms(inputs []string, lanes []map[string]*Waveform, horizon, 
 		if evs[a].tick != evs[b].tick {
 			return evs[a].tick < evs[b].tick
 		}
-		return evs[a].input < evs[b].input
+		if evs[a].input != evs[b].input {
+			return evs[a].input < evs[b].input
+		}
+		return evs[a].lane < evs[b].lane
 	})
 	for k := 0; k < len(evs); {
 		t := evs[k].tick
 		var group []InputToggle
 		for k < len(evs) && evs[k].tick == t {
 			in := evs[k].input
-			var mask uint64
-			for ; k < len(evs) && evs[k].tick == t && evs[k].input == in; k++ {
-				mask |= 1 << evs[k].lane
+			// Lanes are sorted within (tick, input), so each block word's
+			// toggle mask assembles in one contiguous run.
+			for k < len(evs) && evs[k].tick == t && evs[k].input == in {
+				word := int32(evs[k].lane / MaxLanes)
+				var mask uint64
+				for ; k < len(evs) && evs[k].tick == t && evs[k].input == in && int32(evs[k].lane/MaxLanes) == word; k++ {
+					mask |= 1 << uint(evs[k].lane%MaxLanes)
+				}
+				group = append(group, InputToggle{Input: in, Word: word, Lanes: mask})
 			}
-			group = append(group, InputToggle{Input: in, Lanes: mask})
 		}
 		ts.Ticks = append(ts.Ticks, t)
 		ts.Toggles = append(ts.Toggles, group)

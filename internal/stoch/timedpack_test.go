@@ -107,12 +107,12 @@ func TestPackTimedWaveformsErrors(t *testing.T) {
 	if _, err := PackTimedWaveforms([]string{"a"}, nil, 1, 1e-9, 0); err == nil {
 		t.Error("zero lanes accepted")
 	}
-	many := make([]map[string]*Waveform, MaxLanes+1)
+	many := make([]map[string]*Waveform, MaxPackLanes+1)
 	for i := range many {
 		many[i] = w
 	}
 	if _, err := PackTimedWaveforms([]string{"a"}, many, 1, 1e-9, 0); err == nil {
-		t.Error("65 lanes accepted")
+		t.Errorf("%d lanes accepted", MaxPackLanes+1)
 	}
 	if _, err := PackTimedWaveforms([]string{"a"}, []map[string]*Waveform{{}}, 1, 1e-9, 0); err == nil {
 		t.Error("missing waveform accepted")
@@ -200,7 +200,8 @@ func TestPackWaveformsEmptyWaveformLane(t *testing.T) {
 }
 
 func TestPackWaveformsLaneCapacity(t *testing.T) {
-	// Exactly MaxLanes is accepted; one more is rejected.
+	// Exactly MaxPackLanes is accepted; one more is rejected. One lane past
+	// a word boundary grows the block by a word with a 1-bit top mask.
 	mk := func(n int) []map[string]*Waveform {
 		lanes := make([]map[string]*Waveform, n)
 		for i := range lanes {
@@ -212,11 +213,28 @@ func TestPackWaveformsLaneCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%d lanes rejected: %v", MaxLanes, err)
 	}
-	if ps.Lanes != MaxLanes || ps.LaneMask() != ^uint64(0) {
-		t.Fatalf("lanes=%d mask=%#x", ps.Lanes, ps.LaneMask())
+	if ps.Lanes != MaxLanes || ps.Words != 1 || ps.LaneMask() != ^uint64(0) {
+		t.Fatalf("lanes=%d words=%d mask=%#x", ps.Lanes, ps.Words, ps.LaneMask())
 	}
-	if _, err := PackWaveforms([]string{"a"}, mk(MaxLanes+1), 1); err == nil {
-		t.Fatalf("%d lanes accepted", MaxLanes+1)
+	ps, err = PackWaveforms([]string{"a"}, mk(MaxLanes+1), 1)
+	if err != nil {
+		t.Fatalf("%d lanes rejected: %v", MaxLanes+1, err)
+	}
+	if ps.Lanes != MaxLanes+1 || ps.Words != 2 || ps.WordMask(0) != ^uint64(0) || ps.WordMask(1) != 1 {
+		t.Fatalf("lanes=%d words=%d masks=%#x,%#x", ps.Lanes, ps.Words, ps.WordMask(0), ps.WordMask(1))
+	}
+	if err := ps.Validate(); err != nil {
+		t.Fatalf("two-word stimulus invalid: %v", err)
+	}
+	wide, err := PackWaveforms([]string{"a"}, mk(MaxPackLanes), 1)
+	if err != nil {
+		t.Fatalf("%d lanes rejected: %v", MaxPackLanes, err)
+	}
+	if wide.Words != MaxWords || wide.WordMask(MaxWords-1) != ^uint64(0) {
+		t.Fatalf("words=%d top mask=%#x", wide.Words, wide.WordMask(MaxWords-1))
+	}
+	if _, err := PackWaveforms([]string{"a"}, mk(MaxPackLanes+1), 1); err == nil {
+		t.Fatalf("%d lanes accepted", MaxPackLanes+1)
 	}
 }
 

@@ -41,8 +41,9 @@
 // bit-parallel engine, zero-delay jobs run on the levelized compiled
 // program (internal/sim's Compile/RunPacked) and unit-/Elmore-delay jobs
 // on the timed compiled program (CompileTimed, a word-level timing
-// wheel), each measuring Options.Expt.SimVectors Monte Carlo lanes per
-// word; Expt.Sim.Engine == sim.EventDriven falls back to one event-driven
+// wheel), each measuring Options.Expt.SimVectors Monte Carlo vectors
+// streamed in register blocks of Options.Expt.SimLanes lanes per pass;
+// Expt.Sim.Engine == sim.EventDriven falls back to one event-driven
 // realization per job.
 package sweep
 
@@ -131,10 +132,14 @@ func (j Job) identity(opt Options) string {
 		benchID = "sha256:" + hex.EncodeToString(srcSum[:])
 	}
 	e := opt.Expt
+	// SimLanes is part of the identity even though chunking is exact at
+	// the transition-count level: per-pack energies sum in a different
+	// floating-point order at different lane widths, so stored bytes are
+	// only guaranteed reproducible per width.
 	return fmt.Sprintf(
-		"%s|bench=%s|sc=%s|mode=%s|seed=%d|simulate=%t|sim=%+v|vectors=%d|horizonA=%g|cyclesB=%d|periodB=%g|maxDensA=%g|params=%+v|delay=%+v",
+		"%s|bench=%s|sc=%s|mode=%s|seed=%d|simulate=%t|sim=%+v|vectors=%d|lanes=%d|horizonA=%g|cyclesB=%d|periodB=%g|maxDensA=%g|params=%+v|delay=%+v",
 		identityVersion, benchID, j.Scenario, j.Mode, j.Seed,
-		opt.Simulate, e.Sim, e.SimVectors, e.HorizonA, e.CyclesB, e.PeriodB, e.MaxDensA,
+		opt.Simulate, e.Sim, e.SimVectors, e.SimLanes, e.HorizonA, e.CyclesB, e.PeriodB, e.MaxDensA,
 		e.Params, e.Delay)
 }
 
